@@ -1,0 +1,132 @@
+// Chemistry example: ring perception via minimum cycle basis.
+//
+// The paper motivates MCB with applications "to problems in biochemistry":
+// for a molecular graph (atoms as vertices, bonds as unit-weight edges), a
+// minimum cycle basis is exactly the classic SSSR — the Smallest Set of
+// Smallest Rings — that cheminformatics systems compute for every
+// structure. This example encodes caffeine and a steroid-like fused ring
+// skeleton, computes their MCBs, and prints the perceived rings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// molecule builds a unit-weight graph from named atoms and bonds.
+type molecule struct {
+	names []string
+	index map[string]int32
+	bonds [][2]string
+}
+
+func newMolecule() *molecule {
+	return &molecule{index: make(map[string]int32)}
+}
+
+func (m *molecule) atom(names ...string) {
+	for _, n := range names {
+		if _, ok := m.index[n]; ok {
+			log.Fatalf("duplicate atom %s", n)
+		}
+		m.index[n] = int32(len(m.names))
+		m.names = append(m.names, n)
+	}
+}
+
+func (m *molecule) bond(pairs ...[2]string) {
+	m.bonds = append(m.bonds, pairs...)
+}
+
+func (m *molecule) graph() *repro.Graph {
+	b := repro.NewGraphBuilder(len(m.names))
+	for _, bd := range m.bonds {
+		b.AddEdge(m.index[bd[0]], m.index[bd[1]], 1)
+	}
+	return b.Build()
+}
+
+func (m *molecule) perceiveRings(title string) {
+	g := m.graph()
+	basis, err := repro.MinimumCycleBasis(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d atoms, %d bonds -> %d rings (SSSR)\n",
+		title, g.NumVertices(), g.NumEdges(), len(basis.Cycles))
+	for i, c := range basis.Cycles {
+		atoms := ringAtoms(g, c)
+		fmt.Printf("  ring %d (%d-membered):", i+1, len(c.Edges))
+		for _, a := range atoms {
+			fmt.Printf(" %s", m.names[a])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// ringAtoms orders a cycle's vertices by walking its edges.
+func ringAtoms(g *repro.Graph, c repro.MCBCycle) []int32 {
+	next := make(map[int32][]int32)
+	for _, eid := range c.Edges {
+		e := g.Edge(eid)
+		next[e.U] = append(next[e.U], e.V)
+		next[e.V] = append(next[e.V], e.U)
+	}
+	start := g.Edge(c.Edges[0]).U
+	out := []int32{start}
+	prev, cur := int32(-1), start
+	for len(out) < len(c.Edges) {
+		for _, nb := range next[cur] {
+			if nb != prev {
+				prev, cur = cur, nb
+				out = append(out, cur)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func main() {
+	// Caffeine: fused 6-membered (pyrimidinedione) and 5-membered
+	// (imidazole) rings sharing the C4-C5 bond; methyls and oxygens hang
+	// off as acyclic decoration the MCB ignores.
+	caffeine := newMolecule()
+	caffeine.atom("N1", "C2", "N3", "C4", "C5", "C6", "N7", "C8", "N9",
+		"O2", "O6", "CM1", "CM3", "CM7")
+	caffeine.bond(
+		[2]string{"N1", "C2"}, [2]string{"C2", "N3"}, [2]string{"N3", "C4"},
+		[2]string{"C4", "C5"}, [2]string{"C5", "C6"}, [2]string{"C6", "N1"},
+		[2]string{"C5", "N7"}, [2]string{"N7", "C8"}, [2]string{"C8", "N9"},
+		[2]string{"N9", "C4"},
+		[2]string{"C2", "O2"}, [2]string{"C6", "O6"},
+		[2]string{"N1", "CM1"}, [2]string{"N3", "CM3"}, [2]string{"N7", "CM7"},
+	)
+	caffeine.perceiveRings("caffeine")
+
+	// Steroid skeleton (gonane): four fused rings — three 6-membered, one
+	// 5-membered — the classic test that naive fundamental-cycle bases
+	// fail (they return larger envelopes instead of the four faces).
+	steroid := newMolecule()
+	for i := 1; i <= 17; i++ {
+		steroid.atom(fmt.Sprintf("C%d", i))
+	}
+	steroid.bond(
+		// ring A: C1-C2-C3-C4-C5-C10
+		[2]string{"C1", "C2"}, [2]string{"C2", "C3"}, [2]string{"C3", "C4"},
+		[2]string{"C4", "C5"}, [2]string{"C5", "C10"}, [2]string{"C10", "C1"},
+		// ring B: C5-C6-C7-C8-C9-C10
+		[2]string{"C5", "C6"}, [2]string{"C6", "C7"}, [2]string{"C7", "C8"},
+		[2]string{"C8", "C9"}, [2]string{"C9", "C10"},
+		// ring C: C8-C14-C13-C12-C11-C9
+		[2]string{"C8", "C14"}, [2]string{"C14", "C13"}, [2]string{"C13", "C12"},
+		[2]string{"C12", "C11"}, [2]string{"C11", "C9"},
+		// ring D (5-membered): C13-C17-C16-C15-C14
+		[2]string{"C13", "C17"}, [2]string{"C17", "C16"}, [2]string{"C16", "C15"},
+		[2]string{"C15", "C14"},
+	)
+	steroid.perceiveRings("steroid skeleton (gonane)")
+}

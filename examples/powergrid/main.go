@@ -1,0 +1,69 @@
+// Power grid example: mesh analysis via minimum cycle basis.
+//
+// De Pina's thesis — the source of the MCB algorithm the paper
+// parallelises — motivates cycle bases with electrical networks: Kirchhoff
+// mesh analysis needs one independent loop per element of a cycle basis,
+// and a *minimum weight* basis (weighting each branch by its impedance
+// proxy) yields the sparsest, best-conditioned mesh equations.
+//
+// This example builds a transmission-grid-like network: a meshed
+// high-voltage backbone, radial medium-voltage feeders (degree-2 chains the
+// ear reduction eats), and dead-end service drops. It then derives the mesh
+// equation system from the MCB and reports how much smaller the reduced
+// graph made the computation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/mcb"
+)
+
+func main() {
+	cfg := gen.Config{MaxWeight: 40} // impedance-like weights
+	rng := gen.NewRNG(7043)
+
+	// Backbone: meshed ring-of-rings (N-1 security needs loops).
+	backbone := gen.GNM(60, 90, cfg, rng)
+	// Feeders: long radial chains tapped off backbone buses.
+	grid := gen.Subdivide(backbone, 0.7, 5, cfg, rng)
+	// Service drops: dead ends (no loops, excluded from mesh analysis).
+	grid = gen.AttachPendants(grid, 120, 2, cfg, rng)
+
+	fmt.Printf("grid: %d buses, %d branches\n", grid.NumVertices(), grid.NumEdges())
+	loops := grid.NumEdges() - grid.NumVertices() + 1
+	fmt.Printf("mesh analysis needs %d independent loop equations\n", loops)
+
+	basis, err := repro.MinimumCycleBasis(grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(basis.Cycles) != loops {
+		log.Fatalf("basis size %d, expected %d", len(basis.Cycles), loops)
+	}
+	if err := repro.VerifyCycleBasis(grid, basis); err != nil {
+		log.Fatal(err)
+	}
+
+	// Mesh matrix sparsity: total non-zeros = sum of loop lengths; the
+	// minimum basis minimises the weighted total, keeping equations short.
+	nnz := 0
+	longest := 0
+	for _, c := range basis.Cycles {
+		nnz += len(c.Edges)
+		if len(c.Edges) > longest {
+			longest = len(c.Edges)
+		}
+	}
+	fmt.Printf("mesh matrix: %d non-zeros over %d loop equations (longest loop %d branches)\n",
+		nnz, loops, longest)
+	fmt.Printf("ear reduction removed %d of %d buses before the loop search\n",
+		basis.NodesRemoved, grid.NumVertices())
+
+	min, _ := basis.MinimumCycle()
+	seq, _ := mcb.VertexSequence(grid, min)
+	fmt.Printf("tightest loop: impedance %g through buses %v\n", min.Weight, seq)
+}

@@ -1,0 +1,78 @@
+package apsp
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestAnalyticsPath(t *testing.T) {
+	// path 0-1-2-3-4, unit weights: diameter 4, radius 2, center {2},
+	// Wiener = sum over pairs |i-j| = 20
+	b := graph.NewBuilder(5)
+	for i := int32(0); i < 4; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	o := NewOracle(b.Build())
+	a := ComputeAnalytics(o, 2)
+	if a.Diameter != 4 || a.Radius != 2 {
+		t.Fatalf("diameter %v radius %v", a.Diameter, a.Radius)
+	}
+	if len(a.Center) != 1 || a.Center[0] != 2 {
+		t.Fatalf("center %v", a.Center)
+	}
+	if a.WienerIndex != 20 {
+		t.Fatalf("wiener %v", a.WienerIndex)
+	}
+	d0 := a.DiameterEndpoints
+	if o.Query(d0[0], d0[1]) != 4 {
+		t.Fatalf("endpoints %v do not realise the diameter", d0)
+	}
+}
+
+func TestAnalyticsMatchesBruteForce(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 7}
+	rng := gen.NewRNG(9)
+	g := gen.Subdivide(gen.GNM(20, 35, cfg, rng), 0.5, 2, cfg, rng)
+	o := NewOracle(g)
+	a := ComputeAnalytics(o, 1)
+	// brute force from the dense table
+	tbl, _ := Naive(g, 1)
+	n := g.NumVertices()
+	var wiener graph.Weight
+	for u := 0; u < n; u++ {
+		var ecc graph.Weight
+		for v := 0; v < n; v++ {
+			d := tbl[u*n+v]
+			if d >= Inf {
+				continue
+			}
+			if d > ecc {
+				ecc = d
+			}
+			if v > u {
+				wiener += d
+			}
+		}
+		if a.Eccentricity[u] != ecc {
+			t.Fatalf("ecc[%d] = %v, want %v", u, a.Eccentricity[u], ecc)
+		}
+	}
+	if a.WienerIndex != wiener {
+		t.Fatalf("wiener %v, want %v", a.WienerIndex, wiener)
+	}
+}
+
+func TestAnalyticsIsolatedVertices(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 3) // vertices 2,3 isolated
+	o := NewOracle(b.Build())
+	a := ComputeAnalytics(o, 1)
+	if a.Diameter != 3 || a.Radius != 3 {
+		t.Fatalf("diameter %v radius %v", a.Diameter, a.Radius)
+	}
+	if len(a.Center) != 2 {
+		t.Fatalf("center %v", a.Center)
+	}
+}

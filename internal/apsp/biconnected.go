@@ -1,0 +1,198 @@
+// Package apsp implements the paper's all-pairs shortest path algorithms:
+// the ear-decomposition approach of Section 2 (Algorithm 1 for biconnected
+// graphs, the block-cut tree extension of Section 2.2 for general graphs)
+// and the three comparison baselines of Section 2.4.3 (plain per-source
+// Dijkstra, the Banerjee et al. BCC approach, and the Djidjev et al.
+// partition approach).
+package apsp
+
+import (
+	"repro/internal/ear"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+	"repro/internal/sssp"
+)
+
+// Inf is the distance between disconnected vertices.
+const Inf = sssp.Inf
+
+// EarAPSP is the result of Algorithm 1 on a connected graph: the reduced
+// graph, the all-pairs table S^r over reduced vertices, and O(1) queries
+// for arbitrary vertex pairs via the post-processing formulas of
+// Section 2.1.3.
+type EarAPSP struct {
+	G   *graph.Graph
+	Red *ear.Reduced
+	// SR is the nr×nr row-major distance table over reduced vertices
+	// (S^r[s,t] in the paper).
+	SR []graph.Weight
+	nr int
+	// Relaxations is the total Dijkstra work of the processing phase,
+	// the work measure the virtual-clock devices charge. sweeps counts
+	// frontier iterations when the GPU-structured kernel produced SR.
+	Relaxations int64
+	sweeps      int
+}
+
+// reduceForAPSP is the preprocessing step shared by every constructor.
+func reduceForAPSP(g *graph.Graph) *ear.Reduced {
+	return ear.Reduce(g, ear.APSP)
+}
+
+// NewEarAPSP runs the three phases of Algorithm 1 sequentially on a
+// connected graph g: Reduce, per-source Dijkstra on G^r, and (lazily, at
+// query time) UPDATE_DISTANCE.
+func NewEarAPSP(g *graph.Graph) *EarAPSP {
+	red := ear.Reduce(g, ear.APSP)
+	a := &EarAPSP{G: g, Red: red, nr: red.R.NumVertices()}
+	a.SR = make([]graph.Weight, a.nr*a.nr)
+	sc := sssp.NewScratch(a.nr)
+	for s := 0; s < a.nr; s++ {
+		a.Relaxations += sssp.DistancesOnly(red.R, int32(s), a.SR[s*a.nr:(s+1)*a.nr], sc)
+	}
+	return a
+}
+
+// NewEarAPSPParallel is NewEarAPSP with the processing phase spread over
+// real goroutine workers (one Dijkstra instance per thread, as the paper
+// runs the CPU side).
+func NewEarAPSPParallel(g *graph.Graph, workers int) *EarAPSP {
+	red := ear.Reduce(g, ear.APSP)
+	a := &EarAPSP{G: g, Red: red, nr: red.R.NumVertices()}
+	a.SR = make([]graph.Weight, a.nr*a.nr)
+	if workers < 1 {
+		workers = 1
+	}
+	scratch := make([]*sssp.Scratch, workers)
+	relax := make([]int64, workers)
+	for i := range scratch {
+		scratch[i] = sssp.NewScratch(a.nr)
+	}
+	hetero.ParallelFor(workers, a.nr, func(w, s int) {
+		relax[w] += sssp.DistancesOnly(red.R, int32(s), a.SR[s*a.nr:(s+1)*a.nr], scratch[w])
+	})
+	for _, r := range relax {
+		a.Relaxations += r
+	}
+	return a
+}
+
+// NewEarAPSPSim runs the processing phase under the simulated
+// heterogeneous platform: each reduced vertex is a work-unit, the CPU-side
+// kernel is heap Dijkstra and the GPU-side kernel is the frontier sweep of
+// Harish & Narayanan. It returns the APSP result and the virtual schedule.
+func NewEarAPSPSim(g *graph.Graph, devices []*hetero.Device) (*EarAPSP, *hetero.Schedule) {
+	red := ear.Reduce(g, ear.APSP)
+	a := &EarAPSP{G: g, Red: red, nr: red.R.NumVertices()}
+	a.SR = make([]graph.Weight, a.nr*a.nr)
+	units := make([]hetero.Unit, a.nr)
+	// Unit size estimate: degree of the source — larger-degree sources
+	// start bigger frontiers (the deque sorts by this).
+	for s := 0; s < a.nr; s++ {
+		units[s] = hetero.Unit{ID: int32(s), Size: int64(red.R.Degree(int32(s)))}
+	}
+	sc := sssp.NewScratch(a.nr)
+	sched := hetero.Run(units, devices, func(u hetero.Unit, d *hetero.Device) hetero.Cost {
+		row := a.SR[int(u.ID)*a.nr : (int(u.ID)+1)*a.nr]
+		if d.Big { // GPU-structured kernel
+			res, sweeps := sssp.FrontierSweeps(red.R, u.ID)
+			copy(row, res.Dist)
+			return hetero.Cost{Ops: res.Relaxations, Launches: sweeps}
+		}
+		ops := sssp.DistancesOnly(red.R, u.ID, row, sc)
+		return hetero.Cost{Ops: ops, Launches: 1}
+	})
+	a.Relaxations = sched.TotalOps
+	return a, sched
+}
+
+// srAt returns S^r between two reduced IDs.
+func (a *EarAPSP) srAt(x, y int32) graph.Weight { return a.SR[int(x)*a.nr+int(y)] }
+
+// Query returns the shortest-path distance between any two original
+// vertices, applying the Section 2.1.3 case analysis:
+//
+//   - both kept: S^r directly;
+//   - one removed: min over its two anchors;
+//   - both removed: min over the four anchor combinations, plus the direct
+//     along-chain path when both lie on the same ear (including the
+//     wrap-around on loop chains, which one of the four combinations
+//     covers).
+func (a *EarAPSP) Query(x, y int32) graph.Weight {
+	if x == y {
+		return 0
+	}
+	red := a.Red
+	kx, ky := red.OrigToKept[x], red.OrigToKept[y]
+	switch {
+	case kx >= 0 && ky >= 0:
+		return a.srAt(kx, ky)
+	case kx >= 0:
+		return a.queryKeptRemoved(kx, y)
+	case ky >= 0:
+		return a.queryKeptRemoved(ky, x)
+	}
+	// both removed
+	ax, bx, dax, dbx := red.Anchors(x)
+	ay, by, day, dby := red.Anchors(y)
+	kax, kbx := red.OrigToKept[ax], red.OrigToKept[bx]
+	kay, kby := red.OrigToKept[ay], red.OrigToKept[by]
+	best := addInf(dax, a.srAt(kax, kay), day)
+	best = min3(best, dax, a.srAt(kax, kby), dby)
+	best = min3(best, dbx, a.srAt(kbx, kay), day)
+	best = min3(best, dbx, a.srAt(kbx, kby), dby)
+	if direct, _, ok := red.SameChain(x, y); ok && direct < best {
+		best = direct
+	}
+	return best
+}
+
+// queryKeptRemoved computes d(v, x) for kept (reduced ID kv) and removed x.
+func (a *EarAPSP) queryKeptRemoved(kv, x int32) graph.Weight {
+	red := a.Red
+	ax, bx, dax, dbx := red.Anchors(x)
+	da := addInf(dax, a.srAt(red.OrigToKept[ax], kv), 0)
+	db := addInf(dbx, a.srAt(red.OrigToKept[bx], kv), 0)
+	if da < db {
+		return da
+	}
+	return db
+}
+
+func addInf(a, b, c graph.Weight) graph.Weight {
+	if a >= Inf || b >= Inf || c >= Inf {
+		return Inf
+	}
+	return a + b + c
+}
+
+func min3(best, a, b, c graph.Weight) graph.Weight {
+	if s := addInf(a, b, c); s < best {
+		return s
+	}
+	return best
+}
+
+// Row writes the distances from source x to every vertex into out
+// (len ≥ n) — one UPDATE_DISTANCE work-unit of the post-processing phase.
+// It returns the number of table operations performed (the phase's work
+// measure).
+func (a *EarAPSP) Row(x int32, out []graph.Weight) int64 {
+	n := a.G.NumVertices()
+	for y := 0; y < n; y++ {
+		out[y] = a.Query(x, int32(y))
+	}
+	return int64(n)
+}
+
+// Materialize fills the complete n×n table by running UPDATE_DISTANCE from
+// every source; benchmarks use it as the paper's post-processing workload,
+// tests as ground truth.
+func (a *EarAPSP) Materialize() []graph.Weight {
+	n := a.G.NumVertices()
+	out := make([]graph.Weight, n*n)
+	for x := 0; x < n; x++ {
+		a.Row(int32(x), out[x*n:(x+1)*n])
+	}
+	return out
+}

@@ -1,0 +1,354 @@
+package apsp
+
+import (
+	"math/bits"
+
+	"repro/internal/bcc"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+	"repro/internal/sssp"
+)
+
+// BlockAPSP is the per-biconnected-component state of the general
+// algorithm: the component subgraph, its ear-reduced APSP, and the local
+// IDs of the parent vertices it contains.
+type BlockAPSP struct {
+	Sub *graph.Subgraph
+	Ear *EarAPSP
+	// localOf maps parent vertex IDs to local IDs within Sub.
+	localOf map[int32]int32
+}
+
+// QueryParent answers an in-block distance query in parent vertex IDs.
+func (b *BlockAPSP) QueryParent(u, v int32) graph.Weight {
+	lu, ok1 := b.localOf[u]
+	lv, ok2 := b.localOf[v]
+	if !ok1 || !ok2 {
+		return Inf
+	}
+	return b.Ear.Query(lu, lv)
+}
+
+// Oracle is the paper's general-graph APSP structure (Section 2.2): one
+// ear-reduced APSP per biconnected component, an a×a distance table A over
+// the articulation points, and block-cut tree navigation to find, for any
+// cross-component pair, the two gateway articulation points of the unique
+// tree path between their blocks.
+//
+// Storage is O(a² + Σ nr_i²), the paper's memory bound, rather than O(n²).
+type Oracle struct {
+	G      *graph.Graph
+	Dec    *bcc.Decomposition
+	BCT    *bcc.BlockCutTree
+	Blocks []*BlockAPSP
+
+	// A is the articulation-point table, a×a row-major over BCT.CutVertices
+	// indices. apGraph is the graph it was computed on (one vertex per AP,
+	// per-block clique edges), retained for path reconstruction;
+	// apEdgeBlock maps each of its edges to the contributing block.
+	A           []graph.Weight
+	numA        int
+	apGraph     *graph.Graph
+	apEdgeBlock []int32
+
+	// Bipartite block-cut forest navigation. Node IDs: blocks are
+	// [0, B), cut vertices are [B, B+a).
+	nodeParent []int32
+	nodeDepth  []int32
+	nodeRoot   []int32
+	up         [][]int32 // binary lifting ancestors
+
+	// Relaxations is the total shortest-path work of construction.
+	Relaxations int64
+}
+
+// NewOracle builds the oracle sequentially.
+func NewOracle(g *graph.Graph) *Oracle {
+	return newOracle(g, func(sub *graph.Graph) *EarAPSP { return NewEarAPSP(sub) })
+}
+
+// NewOracleParallel builds the oracle with the per-block processing phase
+// parallelised over real goroutine workers (each block's per-source
+// Dijkstra loop is itself the unit of work, mirroring the paper's
+// per-component work-units).
+func NewOracleParallel(g *graph.Graph, workers int) *Oracle {
+	return newOracle(g, func(sub *graph.Graph) *EarAPSP { return NewEarAPSPParallel(sub, workers) })
+}
+
+func newOracle(g *graph.Graph, mk func(*graph.Graph) *EarAPSP) *Oracle {
+	dec := bcc.Compute(g)
+	bct := bcc.BuildBlockCutTree(g, dec)
+	o := &Oracle{G: g, Dec: dec, BCT: bct, numA: len(bct.CutVertices)}
+	subs := dec.Subgraphs(g)
+	o.Blocks = make([]*BlockAPSP, len(subs))
+	for i, sub := range subs {
+		blk := &BlockAPSP{Sub: sub, localOf: make(map[int32]int32, len(sub.ToParentVertex))}
+		for local, parent := range sub.ToParentVertex {
+			blk.localOf[parent] = int32(local)
+		}
+		blk.Ear = mk(sub.G)
+		o.Relaxations += blk.Ear.Relaxations
+		o.Blocks[i] = blk
+	}
+	o.buildForest()
+	o.buildAPTable()
+	return o
+}
+
+// buildForest roots the bipartite block-cut forest and prepares binary
+// lifting for LCA/level-ancestor queries.
+func (o *Oracle) buildForest() {
+	numB := len(o.Blocks)
+	n := numB + o.numA
+	o.nodeParent = make([]int32, n)
+	o.nodeDepth = make([]int32, n)
+	o.nodeRoot = make([]int32, n)
+	for i := range o.nodeParent {
+		o.nodeParent[i] = -1
+		o.nodeRoot[i] = -1
+	}
+	var queue []int32
+	for start := 0; start < n; start++ {
+		if o.nodeRoot[start] >= 0 {
+			continue
+		}
+		o.nodeRoot[start] = int32(start)
+		o.nodeDepth[start] = 0
+		queue = append(queue[:0], int32(start))
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			var neigh []int32
+			if int(v) < numB {
+				for _, c := range o.BCT.BlockCuts[v] {
+					neigh = append(neigh, int32(numB)+c)
+				}
+			} else {
+				for _, b := range o.BCT.CutBlocks[v-int32(numB)] {
+					neigh = append(neigh, b)
+				}
+			}
+			for _, u := range neigh {
+				if o.nodeRoot[u] >= 0 {
+					continue
+				}
+				o.nodeRoot[u] = o.nodeRoot[v]
+				o.nodeParent[u] = v
+				o.nodeDepth[u] = o.nodeDepth[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	levels := 1
+	if n > 1 {
+		levels = bits.Len(uint(n))
+	}
+	o.up = make([][]int32, levels)
+	o.up[0] = o.nodeParent
+	for k := 1; k < levels; k++ {
+		o.up[k] = make([]int32, n)
+		for v := 0; v < n; v++ {
+			p := o.up[k-1][v]
+			if p < 0 {
+				o.up[k][v] = -1
+			} else {
+				o.up[k][v] = o.up[k-1][p]
+			}
+		}
+	}
+}
+
+func (o *Oracle) ancestorAtDepth(v int32, depth int32) int32 {
+	diff := o.nodeDepth[v] - depth
+	for k := 0; diff > 0; k++ {
+		if diff&1 == 1 {
+			v = o.up[k][v]
+		}
+		diff >>= 1
+	}
+	return v
+}
+
+func (o *Oracle) lca(u, v int32) int32 {
+	if o.nodeDepth[u] > o.nodeDepth[v] {
+		u, v = v, u
+	}
+	v = o.ancestorAtDepth(v, o.nodeDepth[u])
+	if u == v {
+		return u
+	}
+	for k := len(o.up) - 1; k >= 0; k-- {
+		if o.up[k][u] != o.up[k][v] {
+			u = o.up[k][u]
+			v = o.up[k][v]
+		}
+	}
+	return o.nodeParent[u]
+}
+
+// gatewayCut returns the articulation-point index of the first cut node on
+// the forest path from block node b toward node t (b != t, same tree).
+func (o *Oracle) gatewayCut(b, t int32) int32 {
+	numB := int32(len(o.Blocks))
+	l := o.lca(b, t)
+	var cutNode int32
+	if l == b {
+		cutNode = o.ancestorAtDepth(t, o.nodeDepth[b]+1)
+	} else {
+		cutNode = o.nodeParent[b]
+	}
+	return cutNode - numB
+}
+
+// buildAPTable computes the a×a articulation point distance table by
+// running Dijkstra from each AP over the "AP graph": one vertex per AP,
+// and, for every block, an edge between each pair of its APs weighted by
+// their in-block distance (Section 2.2, Stage 2).
+func (o *Oracle) buildAPTable() {
+	a := o.numA
+	o.A = make([]graph.Weight, a*a)
+	if a == 0 {
+		return
+	}
+	b := graph.NewBuilder(a)
+	for bi, blk := range o.Blocks {
+		cuts := o.BCT.BlockCuts[bi]
+		for i := 0; i < len(cuts); i++ {
+			for j := i + 1; j < len(cuts); j++ {
+				u := o.BCT.CutVertices[cuts[i]]
+				v := o.BCT.CutVertices[cuts[j]]
+				w := blk.QueryParent(u, v)
+				if w < Inf {
+					b.AddEdge(cuts[i], cuts[j], w)
+					o.apEdgeBlock = append(o.apEdgeBlock, int32(bi))
+				}
+			}
+		}
+	}
+	o.apGraph = b.Build()
+	sc := sssp.NewScratch(a)
+	for s := 0; s < a; s++ {
+		o.Relaxations += sssp.DistancesOnly(o.apGraph, int32(s), o.A[s*a:(s+1)*a], sc)
+	}
+}
+
+// apAt reads the AP table.
+func (o *Oracle) apAt(i, j int32) graph.Weight { return o.A[int(i)*o.numA+int(j)] }
+
+// Query returns d_G(u, v) for arbitrary vertices.
+func (o *Oracle) Query(u, v int32) graph.Weight {
+	if u == v {
+		return 0
+	}
+	iu, iv := o.BCT.CutIndex[u], o.BCT.CutIndex[v]
+	switch {
+	case iu >= 0 && iv >= 0:
+		return o.apAt(iu, iv)
+	case iu >= 0:
+		return o.queryAPRegular(iu, v)
+	case iv >= 0:
+		return o.queryAPRegular(iv, u)
+	}
+	bu, bv := o.BCT.BlockOf[u], o.BCT.BlockOf[v]
+	if bu < 0 || bv < 0 {
+		return Inf // isolated vertex
+	}
+	if bu == bv {
+		return o.Blocks[bu].QueryParent(u, v)
+	}
+	if o.nodeRoot[bu] != o.nodeRoot[bv] {
+		return Inf // different connected components
+	}
+	a1 := o.gatewayCut(bu, bv)
+	a2 := o.gatewayCut(bv, bu)
+	d1 := o.Blocks[bu].QueryParent(u, o.BCT.CutVertices[a1])
+	d2 := o.Blocks[bv].QueryParent(o.BCT.CutVertices[a2], v)
+	mid := o.apAt(a1, a2)
+	return addInf(d1, mid, d2)
+}
+
+// queryAPRegular computes d(AP, regular vertex).
+func (o *Oracle) queryAPRegular(ia int32, v int32) graph.Weight {
+	bv := o.BCT.BlockOf[v]
+	if bv < 0 {
+		return Inf
+	}
+	apVertex := o.BCT.CutVertices[ia]
+	blk := o.Blocks[bv]
+	if _, ok := blk.localOf[apVertex]; ok {
+		return blk.QueryParent(apVertex, v)
+	}
+	numB := int32(len(o.Blocks))
+	apNode := numB + ia
+	if o.nodeRoot[bv] != o.nodeRoot[apNode] {
+		return Inf
+	}
+	a2 := o.gatewayCut(bv, apNode)
+	d2 := blk.QueryParent(o.BCT.CutVertices[a2], v)
+	return addInf(o.apAt(ia, a2), d2, 0)
+}
+
+// NumArticulation returns a, the number of articulation points.
+func (o *Oracle) NumArticulation() int { return o.numA }
+
+// MaterializeBlockTables computes the full per-block distance tables A_i
+// (Stage 1 post-processing) and returns them; the benchmark harness uses
+// this as the measured post-processing workload and the memory model counts
+// its Σ n_i² entries. Each work-unit is one biconnected component, sorted
+// by size, as in Section 2.3.
+func (o *Oracle) MaterializeBlockTables(workers int) [][]graph.Weight {
+	tables := make([][]graph.Weight, len(o.Blocks))
+	hetero.ParallelFor(workers, len(o.Blocks), func(_, bi int) {
+		tables[bi] = o.Blocks[bi].Ear.Materialize()
+	})
+	return tables
+}
+
+// MemoryPlan reports the paper's Table 1 memory model: entries (and bytes
+// at 4 bytes per stored distance, the paper's float precision) for this
+// oracle (a² + Σ n_i²) versus the dense n² table.
+type MemoryPlan struct {
+	OursEntries int64
+	MaxEntries  int64
+}
+
+// Bytes returns the two sides in bytes (4-byte entries, as the paper's MB
+// figures imply).
+func (m MemoryPlan) Bytes() (ours, max int64) { return m.OursEntries * 4, m.MaxEntries * 4 }
+
+// Memory computes the plan for this oracle.
+func (o *Oracle) Memory() MemoryPlan {
+	var ours int64
+	ours += int64(o.numA) * int64(o.numA)
+	for _, blk := range o.Blocks {
+		ni := int64(blk.Sub.G.NumVertices())
+		ours += ni * ni
+	}
+	n := int64(o.G.NumVertices())
+	return MemoryPlan{OursEntries: ours, MaxEntries: n * n}
+}
+
+// ReducedMemory reports the tighter accounting this implementation actually
+// uses (a² + Σ nr_i² over reduced block sizes), shown alongside the paper's
+// model in the Table 1 harness.
+func (o *Oracle) ReducedMemory() int64 {
+	var ours int64
+	ours += int64(o.numA) * int64(o.numA)
+	for _, blk := range o.Blocks {
+		nr := int64(blk.Ear.Red.R.NumVertices())
+		ours += nr * nr
+	}
+	return ours
+}
+
+// NodesRemoved returns the total vertices removed by ear reduction across
+// blocks — Table 1's "Nodes Removed" column. A vertex shared by several
+// blocks (an articulation point) is never removed; interior chain vertices
+// belong to exactly one block, so the per-block sum counts each removed
+// vertex once.
+func (o *Oracle) NodesRemoved() int {
+	total := 0
+	for _, blk := range o.Blocks {
+		total += blk.Ear.Red.NumRemoved()
+	}
+	return total
+}

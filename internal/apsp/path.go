@@ -1,0 +1,268 @@
+package apsp
+
+import (
+	"fmt"
+
+	"repro/internal/ear"
+	"repro/internal/graph"
+)
+
+// This file adds shortest *path* reconstruction on top of the
+// distance-only tables. The paper's pipeline stores S^r (reduced pairs)
+// and the articulation table A; a path is recovered without any extra
+// per-pair storage by greedy next-hop walks over those tables, expanding
+// each reduced edge back into its degree-2 chain and each block-cut hop
+// into an in-block walk.
+
+// Path returns the vertices of a shortest x→y walk in the original graph,
+// including both endpoints, or nil if y is unreachable from x.
+func (a *EarAPSP) Path(x, y int32) []int32 {
+	if x == y {
+		return []int32{x}
+	}
+	if a.Query(x, y) >= Inf {
+		return nil
+	}
+	red := a.Red
+	kx, ky := red.OrigToKept[x], red.OrigToKept[y]
+	switch {
+	case kx >= 0 && ky >= 0:
+		return a.keptPath(kx, ky)
+	case kx >= 0:
+		// walk from the kept side and reverse
+		return reverseWalk(a.removedToKeptPath(y, kx))
+	case ky >= 0:
+		return a.removedToKeptPath(x, ky)
+	}
+	return a.removedPairPath(x, y)
+}
+
+// keptPath reconstructs the walk between two kept vertices: a greedy
+// next-hop descent on the reduced graph, with every reduced edge expanded
+// to its chain.
+func (a *EarAPSP) keptPath(kx, ky int32) []int32 {
+	out := []int32{a.Red.KeptToOrig[kx]}
+	cur := kx
+	r := a.Red.R
+	adjNode, adjEdge := r.AdjNode(), r.AdjEdge()
+	remaining := a.srAt(kx, ky)
+	for cur != ky {
+		lo, hi := r.AdjacencyRange(cur)
+		best := int32(-1)
+		bestEdge := int32(-1)
+		bestVal := Inf
+		for i := lo; i < hi; i++ {
+			v, eid := adjNode[i], adjEdge[i]
+			val := r.Edge(eid).W + a.srAt(v, ky)
+			if val < bestVal {
+				bestVal = val
+				best = v
+				bestEdge = eid
+			}
+		}
+		if best < 0 || bestVal > remaining {
+			panic(fmt.Sprintf("apsp: path reconstruction stuck at reduced vertex %d (remaining %v, best %v)",
+				cur, remaining, bestVal))
+		}
+		appendChainWalk(&out, a.Red, bestEdge, a.Red.KeptToOrig[cur])
+		remaining -= r.Edge(bestEdge).W
+		cur = best
+	}
+	return out
+}
+
+// appendChainWalk expands reduced edge eid starting from original vertex
+// `from` (one of the chain's endpoints) and appends the walk, skipping the
+// duplicated first vertex.
+func appendChainWalk(out *[]int32, red *ear.Reduced, eid int32, from int32) {
+	c := &red.Chains[red.EdgeChain[eid]]
+	var walk []int32
+	if c.A == from {
+		walk = c.WalkFromA()
+	} else {
+		walk = c.WalkFromB()
+	}
+	*out = append(*out, walk[1:]...)
+}
+
+// removedToKeptPath builds the walk from removed vertex x to kept vertex
+// (reduced ID kv).
+func (a *EarAPSP) removedToKeptPath(x int32, kv int32) []int32 {
+	red := a.Red
+	ax, bx, dax, dbx := red.Anchors(x)
+	ci := red.ChainOf[x]
+	c := &red.Chains[ci]
+	pos := red.PosOf[x]
+	viaA := addInf(dax, a.srAt(red.OrigToKept[ax], kv), 0)
+	viaB := addInf(dbx, a.srAt(red.OrigToKept[bx], kv), 0)
+	var out []int32
+	if viaA <= viaB {
+		out = append([]int32{}, c.SegmentToA(pos)...)
+		rest := a.keptPath(red.OrigToKept[ax], kv)
+		out = append(out, rest[1:]...)
+	} else {
+		out = append([]int32{}, c.SegmentToB(pos)...)
+		rest := a.keptPath(red.OrigToKept[bx], kv)
+		out = append(out, rest[1:]...)
+	}
+	return out
+}
+
+// removedPairPath handles two removed vertices: the four anchor routes and
+// the direct along-chain walk when they share a chain.
+func (a *EarAPSP) removedPairPath(x, y int32) []int32 {
+	red := a.Red
+	ax, bx, dax, dbx := red.Anchors(x)
+	ay, by, day, dby := red.Anchors(y)
+	kax, kbx := red.OrigToKept[ax], red.OrigToKept[bx]
+	kay, kby := red.OrigToKept[ay], red.OrigToKept[by]
+	cx := &red.Chains[red.ChainOf[x]]
+	cy := &red.Chains[red.ChainOf[y]]
+	px, py := red.PosOf[x], red.PosOf[y]
+
+	type route struct {
+		cost     graph.Weight
+		xToA     bool // leave x toward chain endpoint A
+		yFromA   bool // enter y from chain endpoint A
+		anchorX  int32
+		anchorY  int32
+		sameWalk bool
+	}
+	best := route{cost: Inf}
+	consider := func(r route) {
+		if r.cost < best.cost {
+			best = r
+		}
+	}
+	consider(route{cost: addInf(dax, a.srAt(kax, kay), day), xToA: true, yFromA: true, anchorX: kax, anchorY: kay})
+	consider(route{cost: addInf(dax, a.srAt(kax, kby), dby), xToA: true, yFromA: false, anchorX: kax, anchorY: kby})
+	consider(route{cost: addInf(dbx, a.srAt(kbx, kay), day), xToA: false, yFromA: true, anchorX: kbx, anchorY: kay})
+	consider(route{cost: addInf(dbx, a.srAt(kbx, kby), dby), xToA: false, yFromA: false, anchorX: kbx, anchorY: kby})
+	if direct, _, ok := red.SameChain(x, y); ok {
+		consider(route{cost: direct, sameWalk: true})
+	}
+	if best.cost >= Inf {
+		return nil
+	}
+	if best.sameWalk {
+		return cx.SegmentBetween(px, py)
+	}
+	var out []int32
+	if best.xToA {
+		out = append(out, cx.SegmentToA(px)...)
+	} else {
+		out = append(out, cx.SegmentToB(px)...)
+	}
+	mid := a.keptPath(best.anchorX, best.anchorY)
+	out = append(out, mid[1:]...)
+	// enter y's chain from the chosen endpoint and walk to y
+	var entry []int32
+	if best.yFromA {
+		entry = reverseWalk(cy.SegmentToA(py)) // A ... y
+	} else {
+		entry = reverseWalk(cy.SegmentToB(py)) // B ... y
+	}
+	out = append(out, entry[1:]...)
+	return out
+}
+
+func reverseWalk(w []int32) []int32 {
+	out := make([]int32, len(w))
+	for i, v := range w {
+		out[len(w)-1-i] = v
+	}
+	return out
+}
+
+// Path returns a shortest u→v walk in the full graph, stitched across
+// biconnected components through the gateway articulation points, or nil
+// if v is unreachable.
+func (o *Oracle) Path(u, v int32) []int32 {
+	if u == v {
+		return []int32{u}
+	}
+	if o.Query(u, v) >= Inf {
+		return nil
+	}
+	iu, iv := o.BCT.CutIndex[u], o.BCT.CutIndex[v]
+	switch {
+	case iu >= 0 && iv >= 0:
+		return o.apPath(iu, iv)
+	case iu >= 0:
+		return reverseWalk(o.regularToAPPath(v, iu))
+	case iv >= 0:
+		return o.regularToAPPath(u, iv)
+	}
+	bu, bv := o.BCT.BlockOf[u], o.BCT.BlockOf[v]
+	if bu == bv {
+		return o.blockPath(bu, u, v)
+	}
+	a1 := o.gatewayCut(bu, bv)
+	a2 := o.gatewayCut(bv, bu)
+	out := o.blockPath(bu, u, o.BCT.CutVertices[a1])
+	mid := o.apPath(a1, a2)
+	out = append(out, mid[1:]...)
+	tail := o.blockPath(bv, o.BCT.CutVertices[a2], v)
+	return append(out, tail[1:]...)
+}
+
+// regularToAPPath walks from regular vertex v... to articulation point ia,
+// returned in v→AP order.
+func (o *Oracle) regularToAPPath(v int32, ia int32) []int32 {
+	bv := o.BCT.BlockOf[v]
+	apVertex := o.BCT.CutVertices[ia]
+	blk := o.Blocks[bv]
+	if _, ok := blk.localOf[apVertex]; ok {
+		return o.blockPath(bv, v, apVertex)
+	}
+	a2 := o.gatewayCut(bv, int32(len(o.Blocks))+ia)
+	out := o.blockPath(bv, v, o.BCT.CutVertices[a2])
+	mid := o.apPath(a2, ia)
+	return append(out, mid[1:]...)
+}
+
+// blockPath answers an in-block path in parent vertex IDs.
+func (o *Oracle) blockPath(bi int32, u, v int32) []int32 {
+	blk := o.Blocks[bi]
+	lu := blk.localOf[u]
+	lv := blk.localOf[v]
+	local := blk.Ear.Path(lu, lv)
+	out := make([]int32, len(local))
+	for i, x := range local {
+		out[i] = blk.Sub.ToParentVertex[x]
+	}
+	return out
+}
+
+// apPath reconstructs the articulation-point-level walk by greedy next-hop
+// descent on the AP graph, expanding each AP edge through its contributing
+// block.
+func (o *Oracle) apPath(ia, ib int32) []int32 {
+	out := []int32{o.BCT.CutVertices[ia]}
+	cur := ia
+	g := o.apGraph
+	adjNode, adjEdge := g.AdjNode(), g.AdjEdge()
+	for cur != ib {
+		lo, hi := g.AdjacencyRange(cur)
+		best := int32(-1)
+		bestEdge := int32(-1)
+		bestVal := Inf
+		for i := lo; i < hi; i++ {
+			nb, eid := adjNode[i], adjEdge[i]
+			val := g.Edge(eid).W + o.apAt(nb, ib)
+			if val < bestVal {
+				bestVal = val
+				best = nb
+				bestEdge = eid
+			}
+		}
+		if best < 0 || bestVal > o.apAt(cur, ib) {
+			panic(fmt.Sprintf("apsp: AP path reconstruction stuck at %d", cur))
+		}
+		blk := o.apEdgeBlock[bestEdge]
+		seg := o.blockPath(blk, o.BCT.CutVertices[cur], o.BCT.CutVertices[best])
+		out = append(out, seg[1:]...)
+		cur = best
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package apsp
+
+import (
+	"repro/internal/bcc"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+	"repro/internal/sssp"
+)
+
+// NewOracleSim builds the general-graph oracle with the processing phase
+// scheduled on the simulated heterogeneous platform exactly as Section 2.3
+// describes: "the workunits correspond to the processing with respect to
+// each biconnected component of the graph ... sorted according to the size
+// of the biconnected component ... so that the GPU starts accessing the
+// bigger workunits". Each unit runs the full per-source sweep of one
+// block's reduced graph — heap Dijkstra on the CPU side, the frontier
+// kernel on the GPU side. It returns the oracle and the virtual schedule.
+func NewOracleSim(g *graph.Graph, devices []*hetero.Device) (*Oracle, *hetero.Schedule) {
+	dec := bcc.Compute(g)
+	bct := bcc.BuildBlockCutTree(g, dec)
+	o := &Oracle{G: g, Dec: dec, BCT: bct, numA: len(bct.CutVertices)}
+	subs := dec.Subgraphs(g)
+	o.Blocks = make([]*BlockAPSP, len(subs))
+	units := make([]hetero.Unit, len(subs))
+	for i, sub := range subs {
+		blk := &BlockAPSP{Sub: sub, localOf: make(map[int32]int32, len(sub.ToParentVertex))}
+		for local, parent := range sub.ToParentVertex {
+			blk.localOf[parent] = int32(local)
+		}
+		o.Blocks[i] = blk
+		// Unit size: the block's edge count, the paper's sorting key.
+		units[i] = hetero.Unit{ID: int32(i), Size: int64(sub.G.NumEdges())}
+	}
+	sched := hetero.Run(units, devices, func(u hetero.Unit, d *hetero.Device) hetero.Cost {
+		blk := o.Blocks[u.ID]
+		if d.Big {
+			blk.Ear = newEarAPSPFrontier(blk.Sub.G)
+			// frontier kernels: one launch per sweep, summed inside
+			return hetero.Cost{Ops: blk.Ear.Relaxations, Launches: blk.Ear.sweeps}
+		}
+		blk.Ear = NewEarAPSP(blk.Sub.G)
+		return hetero.Cost{Ops: blk.Ear.Relaxations, Launches: 1}
+	})
+	for _, blk := range o.Blocks {
+		o.Relaxations += blk.Ear.Relaxations
+	}
+	o.buildForest()
+	o.buildAPTable()
+	return o, sched
+}
+
+// PostProcessSim runs Phase III of Algorithm 1 (UPDATE_DISTANCE from every
+// original vertex) as work-units on the simulated platform — the paper
+// labels the post-processing {cpu,gpu} too. Rows are computed into a
+// rotating buffer (the phase's output is consumed streamily by the
+// harness), and each unit's cost is the table-operation count Row reports.
+func (a *EarAPSP) PostProcessSim(devices []*hetero.Device) *hetero.Schedule {
+	n := a.G.NumVertices()
+	units := make([]hetero.Unit, n)
+	for v := 0; v < n; v++ {
+		units[v] = hetero.Unit{ID: int32(v), Size: int64(n)}
+	}
+	buf := make([]graph.Weight, n)
+	return hetero.Run(units, devices, func(u hetero.Unit, d *hetero.Device) hetero.Cost {
+		ops := a.Row(u.ID, buf)
+		return hetero.Cost{Ops: ops, Launches: 1}
+	})
+}
+
+// newEarAPSPFrontier is NewEarAPSP with the GPU-structured per-source
+// kernel (Harish–Narayanan frontier relaxation) instead of heap Dijkstra,
+// recording the total sweep count for launch accounting.
+func newEarAPSPFrontier(g *graph.Graph) *EarAPSP {
+	red := reduceForAPSP(g)
+	a := &EarAPSP{G: g, Red: red, nr: red.R.NumVertices()}
+	a.SR = make([]graph.Weight, a.nr*a.nr)
+	for s := 0; s < a.nr; s++ {
+		res, sweeps := sssp.FrontierSweeps(red.R, int32(s))
+		copy(a.SR[s*a.nr:(s+1)*a.nr], res.Dist)
+		a.Relaxations += res.Relaxations
+		a.sweeps += sweeps
+	}
+	return a
+}

@@ -1,0 +1,78 @@
+package apsp
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+)
+
+func TestOracleSimMatchesSequential(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 6}
+	rng := gen.NewRNG(61)
+	blocks := []*graph.Graph{
+		gen.Ring(10, cfg, rng),
+		gen.GNM(15, 28, cfg, rng),
+		gen.Grid(3, 5, cfg, rng),
+	}
+	g := gen.Subdivide(gen.ChainBlocks(blocks, cfg, rng), 0.4, 2, cfg, rng)
+	seq := NewOracle(g)
+	sim, sched := NewOracleSim(g, []*hetero.Device{hetero.MulticoreCPU(), hetero.TeslaK40c()})
+	if sched.Makespan <= 0 {
+		t.Fatal("no virtual time")
+	}
+	total := 0
+	for _, c := range sched.UnitsByDevice {
+		total += c
+	}
+	if total != len(sim.Blocks) {
+		t.Fatalf("scheduled %d units for %d blocks", total, len(sim.Blocks))
+	}
+	n := int32(g.NumVertices())
+	for u := int32(0); u < n; u++ {
+		for v := int32(0); v < n; v++ {
+			if seq.Query(u, v) != sim.Query(u, v) {
+				t.Fatalf("sim oracle differs at (%d,%d): %v vs %v",
+					u, v, sim.Query(u, v), seq.Query(u, v))
+			}
+		}
+	}
+}
+
+func TestOracleSimGPUOnly(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 4}
+	rng := gen.NewRNG(62)
+	g := gen.Subdivide(gen.GNM(20, 35, cfg, rng), 0.5, 2, cfg, rng)
+	seq := NewOracle(g)
+	sim, _ := NewOracleSim(g, []*hetero.Device{hetero.TeslaK40c()})
+	n := int32(g.NumVertices())
+	for u := int32(0); u < n; u += 3 {
+		for v := int32(0); v < n; v += 2 {
+			if seq.Query(u, v) != sim.Query(u, v) {
+				t.Fatalf("frontier-kernel oracle differs at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestPostProcessSim(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 5}
+	rng := gen.NewRNG(63)
+	g := gen.Subdivide(gen.GNM(25, 40, cfg, rng), 0.5, 2, cfg, rng)
+	a := NewEarAPSP(g)
+	sched := a.PostProcessSim([]*hetero.Device{hetero.MulticoreCPU(), hetero.TeslaK40c()})
+	if sched.Makespan <= 0 {
+		t.Fatal("no virtual time")
+	}
+	total := 0
+	for _, c := range sched.UnitsByDevice {
+		total += c
+	}
+	if total != g.NumVertices() {
+		t.Fatalf("post-processing scheduled %d of %d rows", total, g.NumVertices())
+	}
+	if sched.TotalOps != int64(g.NumVertices())*int64(g.NumVertices()) {
+		t.Fatalf("ops %d, want n²", sched.TotalOps)
+	}
+}

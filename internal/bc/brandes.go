@@ -1,0 +1,246 @@
+// Package bc implements betweenness centrality. The paper's conclusion
+// points at path-based computations beyond APSP/MCB as targets for the
+// same ear/heterogeneous machinery, and the authors' companion work
+// (Pachorkar et al., HiPC 2016; Sariyuce et al. [34]) computes betweenness
+// centrality with exactly the per-source parallel structure used here:
+// each work-unit is one source's Brandes dependency accumulation, spread
+// over the CPU/GPU work queue.
+//
+// The implementation is the weighted Brandes algorithm: a Dijkstra-like
+// forward phase recording predecessor DAG and path counts, and a reverse
+// dependency accumulation. Parallel edges are supported (each parallel
+// shortest edge contributes its own path); self-loops never lie on
+// shortest paths and are ignored.
+package bc
+
+import (
+	"math"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+	"repro/internal/sssp"
+)
+
+// Result holds centrality scores.
+type Result struct {
+	// Scores[v] is the betweenness centrality of v: the sum over vertex
+	// pairs (s,t), s≠v≠t, of the fraction of shortest s–t paths through v.
+	// Each unordered pair is counted twice (once per direction), the usual
+	// convention for undirected Brandes; divide by 2 for per-pair values.
+	Scores []float64
+	// Relaxations is the forward-phase work, the device-model cost
+	// measure.
+	Relaxations int64
+}
+
+// state is the per-worker scratch for one source's Brandes pass.
+type state struct {
+	dist  []graph.Weight
+	sigma []float64
+	delta []float64
+	preds [][]int32 // predecessor lists in the shortest path DAG
+	order []int32   // vertices in non-decreasing settled order
+	heap  *ds.IndexedHeap
+}
+
+func newState(n int) *state {
+	return &state{
+		dist:  make([]graph.Weight, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+		preds: make([][]int32, n),
+		order: make([]int32, 0, n),
+		heap:  ds.NewIndexedHeap(n),
+	}
+}
+
+// sourceBFS is the unit-weight fast path of source: the forward phase is a
+// plain BFS (O(n+m), no heap), with identical σ/predecessor bookkeeping.
+func (st *state) sourceBFS(g *graph.Graph, s int32, acc []float64) int64 {
+	n := g.NumVertices()
+	for i := 0; i < n; i++ {
+		st.dist[i] = inf
+		st.sigma[i] = 0
+		st.delta[i] = 0
+		st.preds[i] = st.preds[i][:0]
+	}
+	st.order = st.order[:0]
+	st.dist[s] = 0
+	st.sigma[s] = 1
+	st.order = append(st.order, s)
+	adjNode := g.AdjNode()
+	var relax int64
+	for qi := 0; qi < len(st.order); qi++ {
+		v := st.order[qi]
+		dv := st.dist[v]
+		lo, hi := g.AdjacencyRange(v)
+		for i := lo; i < hi; i++ {
+			u := adjNode[i]
+			if u == v {
+				continue
+			}
+			relax++
+			switch {
+			case st.dist[u] >= inf:
+				st.dist[u] = dv + 1
+				st.sigma[u] = st.sigma[v]
+				st.preds[u] = append(st.preds[u][:0], v)
+				st.order = append(st.order, u)
+			case st.dist[u] == dv+1:
+				st.sigma[u] += st.sigma[v]
+				st.preds[u] = append(st.preds[u], v)
+			}
+		}
+	}
+	for i := len(st.order) - 1; i >= 0; i-- {
+		w := st.order[i]
+		coef := (1 + st.delta[w]) / st.sigma[w]
+		for _, v := range st.preds[w] {
+			st.delta[v] += st.sigma[v] * coef
+		}
+		if w != s {
+			acc[w] += st.delta[w]
+		}
+	}
+	return relax
+}
+
+// source runs one Brandes pass from s, accumulating into acc (caller
+// synchronises). It returns the relaxation count.
+func (st *state) source(g *graph.Graph, s int32, acc []float64) int64 {
+	n := g.NumVertices()
+	for i := 0; i < n; i++ {
+		st.dist[i] = inf
+		st.sigma[i] = 0
+		st.delta[i] = 0
+		st.preds[i] = st.preds[i][:0]
+	}
+	st.order = st.order[:0]
+	st.heap.Reset()
+	st.dist[s] = 0
+	st.sigma[s] = 1
+	st.heap.Push(s, 0)
+	adjNode, adjEdge := g.AdjNode(), g.AdjEdge()
+	edges := g.Edges()
+	var relax int64
+	for st.heap.Len() > 0 {
+		v, dv := st.heap.Pop()
+		st.order = append(st.order, v)
+		lo, hi := g.AdjacencyRange(v)
+		for i := lo; i < hi; i++ {
+			u, eid := adjNode[i], adjEdge[i]
+			if u == v {
+				continue // self-loop
+			}
+			relax++
+			nd := dv + edges[eid].W
+			switch {
+			case nd < st.dist[u]:
+				st.dist[u] = nd
+				st.sigma[u] = st.sigma[v]
+				st.preds[u] = append(st.preds[u][:0], v)
+				st.heap.PushOrDecrease(u, nd)
+			case nd == st.dist[u]:
+				st.sigma[u] += st.sigma[v]
+				st.preds[u] = append(st.preds[u], v)
+			}
+		}
+	}
+	// reverse accumulation
+	for i := len(st.order) - 1; i >= 0; i-- {
+		w := st.order[i]
+		coef := (1 + st.delta[w]) / st.sigma[w]
+		for _, v := range st.preds[w] {
+			st.delta[v] += st.sigma[v] * coef
+		}
+		if w != s {
+			acc[w] += st.delta[w]
+		}
+	}
+	return relax
+}
+
+const inf = graph.Weight(math.MaxFloat64)
+
+// Sequential computes exact betweenness centrality with one worker.
+func Sequential(g *graph.Graph) *Result {
+	return Parallel(g, 1)
+}
+
+// Parallel computes exact betweenness centrality with the given number of
+// goroutine workers, one Brandes source per work item. Unit-weight graphs
+// automatically take the BFS forward phase instead of Dijkstra.
+func Parallel(g *graph.Graph, workers int) *Result {
+	n := g.NumVertices()
+	if workers < 1 {
+		workers = 1
+	}
+	unit := sssp.UnitWeights(g)
+	states := make([]*state, workers)
+	accs := make([][]float64, workers)
+	relax := make([]int64, workers)
+	for w := range states {
+		states[w] = newState(n)
+		accs[w] = make([]float64, n)
+	}
+	hetero.ParallelFor(workers, n, func(w, s int) {
+		if unit {
+			relax[w] += states[w].sourceBFS(g, int32(s), accs[w])
+		} else {
+			relax[w] += states[w].source(g, int32(s), accs[w])
+		}
+	})
+	res := &Result{Scores: make([]float64, n)}
+	for w := range accs {
+		for v, x := range accs[w] {
+			res.Scores[v] += x
+		}
+		res.Relaxations += relax[w]
+	}
+	return res
+}
+
+// Sim computes betweenness centrality under the simulated heterogeneous
+// platform: one work-unit per source, big sources (by degree) toward the
+// GPU end of the deque. It returns the result and the virtual schedule.
+func Sim(g *graph.Graph, devices []*hetero.Device) (*Result, *hetero.Schedule) {
+	n := g.NumVertices()
+	st := newState(n)
+	res := &Result{Scores: make([]float64, n)}
+	units := make([]hetero.Unit, n)
+	for s := 0; s < n; s++ {
+		units[s] = hetero.Unit{ID: int32(s), Size: int64(g.Degree(int32(s)))}
+	}
+	sched := hetero.Run(units, devices, func(u hetero.Unit, d *hetero.Device) hetero.Cost {
+		ops := st.source(g, u.ID, res.Scores)
+		return hetero.Cost{Ops: ops, Launches: 1}
+	})
+	res.Relaxations = sched.TotalOps
+	return res, sched
+}
+
+// TopK returns the k vertices with the highest centrality, ties broken by
+// vertex ID, without sorting the full score vector.
+func (r *Result) TopK(k int) []int32 {
+	n := len(r.Scores)
+	if k > n {
+		k = n
+	}
+	out := make([]int32, 0, k)
+	used := make([]bool, n)
+	for len(out) < k {
+		best := int32(-1)
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			if best < 0 || r.Scores[v] > r.Scores[best] {
+				best = int32(v)
+			}
+		}
+		used[best] = true
+		out = append(out, best)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+// Package core is the high-level entry point to the paper's contribution:
+// ear-decomposition-accelerated all-pairs shortest paths (Section 2) and
+// minimum weight cycle basis computation (Section 3) on large sparse
+// graphs, in one call each.
+//
+// Both algorithms share the paper's three-phase blueprint:
+//
+//	preprocess — split into biconnected components and contract every
+//	             maximal chain of degree-2 vertices into one weighted edge
+//	             (the reduced graph G^r);
+//	process    — run the path computation only on G^r, in parallel;
+//	postprocess— extend the answers back to the full graph in linear time
+//	             (anchor formulas for APSP, chain substitution for MCB).
+//
+// The lower-level packages remain available for fine-grained control:
+// internal/ear (decomposition and reduction), internal/apsp, internal/mcb,
+// internal/hetero (work queue and device models).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apsp"
+	"repro/internal/ear"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+	"repro/internal/mcb"
+)
+
+// ShortestPaths computes an all-pairs shortest path oracle for g using the
+// ear-decomposition algorithm with the given number of parallel workers
+// (0 selects GOMAXPROCS). The returned oracle answers Query(u,v) in O(1)
+// using O(a² + Σ nᵢ²) memory instead of O(n²).
+func ShortestPaths(g *graph.Graph, workers int) (*apsp.Oracle, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if workers <= 0 {
+		workers = hetero.Workers()
+	}
+	return apsp.NewOracleParallel(g, workers), nil
+}
+
+// MinimumCycleBasis computes a minimum weight cycle basis of g with the
+// ear-decomposition reduction enabled. Use MinimumCycleBasisOpts for
+// platform selection and ablations.
+func MinimumCycleBasis(g *graph.Graph) (*mcb.Result, error) {
+	return MinimumCycleBasisOpts(g, mcb.Options{
+		UseEar:  true,
+		Workers: hetero.Workers(),
+	})
+}
+
+// MinimumCycleBasisOpts is MinimumCycleBasis with explicit options.
+func MinimumCycleBasisOpts(g *graph.Graph, opts mcb.Options) (*mcb.Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	res := mcb.Compute(g, opts)
+	if want := mcb.Dim(g); res.Dim != want {
+		return nil, fmt.Errorf("core: internal error: basis dimension %d, want %d", res.Dim, want)
+	}
+	return res, nil
+}
+
+// Reduce exposes the preprocessing stage on its own: the reduced graph of
+// g with degree-2 chains contracted, in APSP mode (parallel chains
+// collapsed to the cheapest).
+func Reduce(g *graph.Graph) (*ear.Reduced, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	return ear.Reduce(g, ear.APSP), nil
+}
+
+// EarDecomposition returns the ears of a biconnected graph, or an error if
+// the graph is not biconnected (an ear decomposition exists iff the graph
+// is two-edge-connected).
+func EarDecomposition(g *graph.Graph) ([]ear.Ear, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	return ear.Decompose(g)
+}

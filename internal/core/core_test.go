@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mcb"
+	"repro/internal/sssp"
+)
+
+func TestShortestPathsEndToEnd(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 7}
+	rng := gen.NewRNG(5)
+	g := gen.Subdivide(gen.GNM(25, 45, cfg, rng), 0.5, 2, cfg, rng)
+	o, err := ShortestPaths(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sssp.BellmanFord(g, 0)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if o.Query(0, v) != ref[v] {
+			t.Fatalf("query mismatch at %d", v)
+		}
+	}
+}
+
+func TestMinimumCycleBasisEndToEnd(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 5}
+	rng := gen.NewRNG(6)
+	g := gen.GNM(20, 32, cfg, rng)
+	res, err := MinimumCycleBasis(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dim != mcb.Dim(g) {
+		t.Fatalf("dim %d, want %d", res.Dim, mcb.Dim(g))
+	}
+	res2, err := MinimumCycleBasisOpts(g, mcb.Options{UseEar: false, Platform: mcb.Multicore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWeight != res2.TotalWeight {
+		t.Fatal("option variants disagree on weight")
+	}
+}
+
+func TestNilInputs(t *testing.T) {
+	if _, err := ShortestPaths(nil, 1); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := MinimumCycleBasis(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := Reduce(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := EarDecomposition(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestReduceAndEars(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 3}
+	rng := gen.NewRNG(7)
+	ring := gen.Ring(15, cfg, rng)
+	red, err := Reduce(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumRemoved() != 14 {
+		t.Fatalf("ring reduction removed %d", red.NumRemoved())
+	}
+	ears, err := EarDecomposition(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ears) != 1 {
+		t.Fatalf("ring has %d ears", len(ears))
+	}
+}

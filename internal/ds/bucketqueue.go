@@ -1,0 +1,46 @@
+package ds
+
+// BucketQueue is a monotone priority queue for small non-negative integer
+// keys (Dial's structure). Dijkstra over the reduced graph frequently runs
+// on integer-weighted inputs where a bucket queue beats a binary heap; the
+// SSSP engine selects it when edge weights are small integers.
+type BucketQueue struct {
+	buckets [][]int32
+	cur     int // smallest possibly non-empty bucket
+	n       int
+}
+
+// NewBucketQueue returns a queue accepting keys in [0, maxKey].
+func NewBucketQueue(maxKey int) *BucketQueue {
+	return &BucketQueue{buckets: make([][]int32, maxKey+1)}
+}
+
+// Push inserts item with the given key. Keys already popped (smaller than
+// the current minimum) must not be pushed: the queue is monotone.
+func (q *BucketQueue) Push(item int32, key int) {
+	if key < q.cur {
+		panic("ds: BucketQueue key below current minimum (non-monotone push)")
+	}
+	q.buckets[key] = append(q.buckets[key], item)
+	q.n++
+}
+
+// Len reports the number of queued items (including stale duplicates the
+// caller may push for lazy-deletion Dijkstra).
+func (q *BucketQueue) Len() int { return q.n }
+
+// Pop removes and returns an item with the minimum key.
+// It panics if the queue is empty.
+func (q *BucketQueue) Pop() (item int32, key int) {
+	for q.cur < len(q.buckets) && len(q.buckets[q.cur]) == 0 {
+		q.cur++
+	}
+	if q.cur >= len(q.buckets) {
+		panic("ds: Pop on empty BucketQueue")
+	}
+	b := q.buckets[q.cur]
+	item = b[len(b)-1]
+	q.buckets[q.cur] = b[:len(b)-1]
+	q.n--
+	return item, q.cur
+}

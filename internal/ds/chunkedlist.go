@@ -1,0 +1,142 @@
+package ds
+
+// ChunkedList is the hybrid linked-list-of-arrays store described in
+// Section 3.3.2 of the paper for holding candidate cycles sorted by weight.
+//
+// Each linked-list node holds a fixed-size array of 31-bit payloads. Elements
+// are appended in order (the MCB engine appends cycles sorted by weight) and
+// scanned front to back. Removal marks the element by setting the MSB
+// ("setting off the MSB" in the paper's words); once half the elements of a
+// node are marked, the node is compacted in place so later scans stay dense.
+// This keeps scans cache-friendly (linear array within a node) while removal
+// remains O(1) amortised — the measured middle ground between a plain slice
+// (expensive removals) and a pointer-chasing linked list (expensive scans).
+type ChunkedList struct {
+	head      *chunk
+	tail      *chunk
+	chunkSize int
+	length    int // live (unmarked) elements
+}
+
+const removedBit = uint32(1) << 31
+
+type chunk struct {
+	data    []uint32
+	removed int // count of marked elements in this chunk
+	next    *chunk
+}
+
+// NewChunkedList returns an empty list whose nodes hold chunkSize elements.
+// A chunkSize of 0 selects the default of 256.
+func NewChunkedList(chunkSize int) *ChunkedList {
+	if chunkSize <= 0 {
+		chunkSize = 256
+	}
+	return &ChunkedList{chunkSize: chunkSize}
+}
+
+// Len reports the number of live (not removed) elements.
+func (l *ChunkedList) Len() int { return l.length }
+
+// Append adds a payload to the end of the list. The payload must fit in
+// 31 bits; the MSB is reserved as the removal mark.
+func (l *ChunkedList) Append(v uint32) {
+	if v&removedBit != 0 {
+		panic("ds: ChunkedList payload exceeds 31 bits")
+	}
+	if l.tail == nil || len(l.tail.data) == l.chunkSize {
+		c := &chunk{data: make([]uint32, 0, l.chunkSize)}
+		if l.tail == nil {
+			l.head, l.tail = c, c
+		} else {
+			l.tail.next = c
+			l.tail = c
+		}
+	}
+	l.tail.data = append(l.tail.data, v)
+	l.length++
+}
+
+// Cursor points at a live element found by Scan, so the caller can remove
+// exactly the element it just inspected.
+type Cursor struct {
+	c *chunk
+	i int
+}
+
+// Scan walks the live elements in insertion order, calling visit for each.
+// If visit returns false the scan stops early (the paper's early-exit when
+// the first non-orthogonal cycle is found). It returns the cursor of the
+// element on which the scan stopped, or an invalid cursor if the scan ran to
+// the end.
+func (l *ChunkedList) Scan(visit func(v uint32) bool) (Cursor, bool) {
+	for c := l.head; c != nil; c = c.next {
+		for i, v := range c.data {
+			if v&removedBit != 0 {
+				continue
+			}
+			if !visit(v) {
+				return Cursor{c, i}, true
+			}
+		}
+	}
+	return Cursor{}, false
+}
+
+// ScanFrom behaves like Scan but starts immediately after the given cursor,
+// allowing batch scans to resume where a previous batch ended.
+func (l *ChunkedList) ScanFrom(cur Cursor, visit func(v uint32) bool) (Cursor, bool) {
+	c := cur.c
+	if c == nil {
+		return l.Scan(visit)
+	}
+	start := cur.i + 1
+	for ; c != nil; c = c.next {
+		for i := start; i < len(c.data); i++ {
+			v := c.data[i]
+			if v&removedBit != 0 {
+				continue
+			}
+			if !visit(v) {
+				return Cursor{c, i}, true
+			}
+		}
+		start = 0
+	}
+	return Cursor{}, false
+}
+
+// Remove marks the element under the cursor as deleted and compacts the
+// containing node once at least half of its elements are marked.
+// Compaction rewrites the node in place, so Remove invalidates every
+// cursor into the same node — including the one just used. Obtain a fresh
+// cursor from Scan/ScanFrom before removing again.
+func (l *ChunkedList) Remove(cur Cursor) {
+	c := cur.c
+	if c == nil || c.data[cur.i]&removedBit != 0 {
+		return
+	}
+	c.data[cur.i] |= removedBit
+	c.removed++
+	l.length--
+	if c.removed*2 >= len(c.data) {
+		live := c.data[:0]
+		for _, v := range c.data {
+			if v&removedBit == 0 {
+				live = append(live, v)
+			}
+		}
+		c.data = live
+		c.removed = 0
+	}
+}
+
+// Collect returns the live elements in order; intended for tests.
+func (l *ChunkedList) Collect() []uint32 {
+	out := make([]uint32, 0, l.length)
+	l.Scan(func(v uint32) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}

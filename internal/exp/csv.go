@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/mcb"
+)
+
+// CSV emitters for every experiment, so the tables can be re-plotted with
+// external tooling (the text writers remain the human-readable view).
+
+// WriteTable1CSV emits the Table 1 rows as CSV.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"graph", "v", "e", "bccs", "largest_bcc_pct", "removed_pct",
+		"ours_bytes", "max_bytes",
+		"paper_v", "paper_e", "paper_bccs", "paper_largest_pct", "paper_removed_pct",
+		"paper_ours_mb", "paper_max_mb",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		s, p := r.Structure, r.Spec
+		rec := []string{
+			p.Name,
+			itoa(s.V), itoa(s.E), itoa(s.BCCs),
+			ftoa(s.LargestPct), ftoa(s.RemovedPct),
+			itoa64(s.OursEntries * 4), itoa64(s.MaxEntries * 4),
+			itoa(p.PaperV), itoa(p.PaperE), itoa(p.PaperBCCs),
+			ftoa(p.PaperLargestPct), ftoa(p.PaperRemovedPct),
+			itoa(p.PaperOursMB), itoa(p.PaperMaxMB),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAPSPCSV emits the Figure 2/3 rows as CSV.
+func WriteAPSPCSV(w io.Writer, rows []APSPRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"graph", "baseline", "v", "e",
+		"ours_sec", "base_sec", "speedup",
+		"ours_mteps", "base_mteps", "ours_work", "base_work",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Name, r.Baseline, itoa(r.V), itoa(r.E),
+			ftoa(r.OursSec), ftoa(r.BaseSec), ftoa(r.Speedup),
+			ftoa(r.OursMTEPS), ftoa(r.BaseMTEPS),
+			itoa64(r.OursWork), itoa64(r.BaseWork),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMCBCSV emits the Table 2 rows (and the data behind Figures 5/6) as
+// CSV: one row per (graph, platform) with with/without-ear virtual times.
+func WriteMCBCSV(w io.Writer, rows []MCBRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"graph", "v", "e", "dim", "platform",
+		"sim_with_ear_sec", "sim_without_ear_sec",
+		"ear_speedup", "speedup_over_sequential",
+		"nodes_removed", "wall_with_ear_sec",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		seq := r.SimWith[mcb.Sequential]
+		for _, p := range platforms {
+			withT, withoutT := r.SimWith[p], r.SimWithout[p]
+			earSp, seqSp := 0.0, 0.0
+			if withT > 0 {
+				earSp = withoutT / withT
+				seqSp = seq / withT
+			}
+			rec := []string{
+				r.Name, itoa(r.V), itoa(r.E), itoa(r.Dim), p.String(),
+				ftoa(withT), ftoa(withoutT), ftoa(earSp), ftoa(seqSp),
+				itoa(r.NodesRemoved), ftoa(r.WallWith.Seconds()),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
+func itoa64(v int64) string { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string { return fmt.Sprintf("%g", v) }

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/datasets"
+)
+
+// ScalingRow is one point of the scalability study: the same dataset at a
+// growing scale, ours vs the Banerjee baseline. The paper's thesis is that
+// the ear reduction makes the approach *scalable*; the speedup should hold
+// or grow as the graph grows while the memory gap widens.
+type ScalingRow struct {
+	Scale      float64
+	V, E       int
+	OursSec    float64
+	BaseSec    float64
+	Speedup    float64
+	OursMTEPS  float64
+	RemovedPct float64
+}
+
+// RunScaling measures one dataset across the given scales.
+func RunScaling(spec datasets.Spec, scales []float64, seed uint64, workers int) []ScalingRow {
+	rows := make([]ScalingRow, 0, len(scales))
+	for _, sc := range scales {
+		g := spec.Generate(sc, seed)
+		st := AnalyzeStructure(g)
+		row := ScalingRow{Scale: sc, V: g.NumVertices(), E: g.NumEdges(), RemovedPct: st.RemovedPct}
+		row.OursSec, _ = runOurs(g, workers)
+		row.BaseSec, _ = runBanerjee(g, workers)
+		if row.OursSec > 0 {
+			row.Speedup = row.BaseSec / row.OursSec
+			row.OursMTEPS = mteps(row.V, row.E, row.OursSec)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteScaling renders the study.
+func WriteScaling(w io.Writer, name string, rows []ScalingRow) {
+	fmt.Fprintf(w, "Scaling study — %s, ear APSP vs Banerjee across scales\n", name)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scale\t|V|\t|E|\tremoved %\tours (s)\tbanerjee (s)\tspeedup\tours MTEPS")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.3g\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.2fx\t%.1f\n",
+			r.Scale, r.V, r.E, r.RemovedPct, r.OursSec, r.BaseSec, r.Speedup, r.OursMTEPS)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,215 @@
+package gen
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Config carries the weight range shared by all generators.
+type Config struct {
+	// MaxWeight is the inclusive upper bound for integral edge weights;
+	// 0 or 1 makes the graph effectively unweighted (all weights 1).
+	MaxWeight int
+}
+
+// GNM generates a connected Erdős–Rényi-style graph with n vertices and m
+// edges (m >= n-1): a random spanning tree first (so the result is
+// connected, as the OGDF "connected graph" generators the paper uses
+// guarantee), then m-n+1 distinct random non-tree edges.
+func GNM(n, m int, cfg Config, rng *RNG) *graph.Graph {
+	if n <= 0 {
+		return graph.FromEdges(0, nil)
+	}
+	if m < n-1 {
+		m = n - 1
+	}
+	// A simple graph holds at most n(n-1)/2 edges; clamping prevents the
+	// rejection-sampling loop below from spinning forever on dense
+	// requests.
+	if maxM := n * (n - 1) / 2; m > maxM {
+		m = maxM
+	}
+	b := graph.NewBuilder(n)
+	seen := make(map[[2]int32]bool, m)
+	addUnique := func(u, v int32) bool {
+		if u == v {
+			return false
+		}
+		a, c := u, v
+		if a > c {
+			a, c = c, a
+		}
+		if seen[[2]int32{a, c}] {
+			return false
+		}
+		seen[[2]int32{a, c}] = true
+		b.AddEdge(u, v, rng.Weight(cfg.MaxWeight))
+		return true
+	}
+	// Random spanning tree: attach each vertex (in random order) to a
+	// uniformly random earlier vertex.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u := perm[i]
+		v := perm[rng.Intn(i)]
+		addUnique(u, v)
+	}
+	for b.NumEdges() < m {
+		u := rng.Int32n(int32(n))
+		v := rng.Int32n(int32(n))
+		addUnique(u, v)
+	}
+	return b.Build()
+}
+
+// PreferentialAttachment generates a connected scale-free graph: each new
+// vertex attaches k edges to existing vertices chosen proportionally to
+// degree. This mimics the social/collaboration networks in the paper's
+// dataset (ca-AstroPh, cond-mat-2003, soc-sign-epinions): a heavy-tailed
+// degree distribution with many low-degree vertices.
+func PreferentialAttachment(n, k int, cfg Config, rng *RNG) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	if n < k+1 {
+		n = k + 1
+	}
+	b := graph.NewBuilder(n)
+	// repeated-endpoint list: each endpoint appearance gives a vertex a
+	// degree-proportional chance of being picked.
+	targets := make([]int32, 0, 2*n*k)
+	// seed clique on k+1 vertices
+	for u := int32(0); u <= int32(k); u++ {
+		for v := u + 1; v <= int32(k); v++ {
+			b.AddEdge(u, v, rng.Weight(cfg.MaxWeight))
+			targets = append(targets, u, v)
+		}
+	}
+	seen := make(map[[2]int32]bool)
+	for v := int32(k + 1); v < int32(n); v++ {
+		added := 0
+		for tries := 0; added < k && tries < 20*k; tries++ {
+			u := targets[rng.Intn(len(targets))]
+			if u == v {
+				continue
+			}
+			a, c := u, v
+			if a > c {
+				a, c = c, a
+			}
+			if seen[[2]int32{a, c}] {
+				continue
+			}
+			seen[[2]int32{a, c}] = true
+			b.AddEdge(u, v, rng.Weight(cfg.MaxWeight))
+			targets = append(targets, u, v)
+			added++
+		}
+		if added == 0 { // guarantee connectivity
+			u := targets[rng.Intn(len(targets))]
+			if u == v {
+				u = 0
+			}
+			b.AddEdge(u, v, rng.Weight(cfg.MaxWeight))
+			targets = append(targets, u, v)
+		}
+	}
+	return b.Build()
+}
+
+// RandomGeometric places n points on a unit torus grid and connects points
+// within the radius that yields roughly the requested average degree,
+// producing the geometric-instance flavour of the UF collection (nopoly,
+// OPF). The torus avoids boundary-degree artifacts; connectivity is then
+// enforced by linking components along the point order.
+func RandomGeometric(n int, avgDegree float64, cfg Config, rng *RNG) *graph.Graph {
+	if n <= 0 {
+		return graph.FromEdges(0, nil)
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{rng.Float64(), rng.Float64()}
+	}
+	// Expected degree for radius r on a unit torus is n·πr².
+	r := 0.0
+	if avgDegree > 0 {
+		r = math.Sqrt(avgDegree / (math.Pi * float64(n)))
+	}
+	cell := r
+	if cell <= 0 {
+		cell = 1
+	}
+	gridN := int(1 / cell)
+	if gridN < 1 {
+		gridN = 1
+	}
+	buckets := make(map[[2]int][]int32)
+	key := func(p pt) [2]int {
+		return [2]int{int(p.x * float64(gridN)), int(p.y * float64(gridN))}
+	}
+	for i, p := range pts {
+		k := key(p)
+		buckets[k] = append(buckets[k], int32(i))
+	}
+	b := graph.NewBuilder(n)
+	torusDist2 := func(a, c pt) float64 {
+		dx := a.x - c.x
+		if dx < 0 {
+			dx = -dx
+		}
+		if dx > 0.5 {
+			dx = 1 - dx
+		}
+		dy := a.y - c.y
+		if dy < 0 {
+			dy = -dy
+		}
+		if dy > 0.5 {
+			dy = 1 - dy
+		}
+		return dx*dx + dy*dy
+	}
+	for i := int32(0); i < int32(n); i++ {
+		k := key(pts[i])
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				nk := [2]int{(k[0] + dx + gridN) % gridN, (k[1] + dy + gridN) % gridN}
+				for _, j := range buckets[nk] {
+					if j <= i {
+						continue
+					}
+					if torusDist2(pts[i], pts[j]) <= r*r {
+						b.AddEdge(i, j, rng.Weight(cfg.MaxWeight))
+					}
+				}
+			}
+		}
+	}
+	g := b.Build()
+	return connect(g, cfg, rng)
+}
+
+// connect links the components of g along a random order so the result is
+// connected, preserving all existing edges.
+func connect(g *graph.Graph, cfg Config, rng *RNG) *graph.Graph {
+	labels, count := graph.ComponentLabels(g)
+	if count <= 1 {
+		return g
+	}
+	rep := make([]int32, count)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for v, l := range labels {
+		if rep[l] < 0 {
+			rep[l] = int32(v)
+		}
+	}
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	for i := 1; i < count; i++ {
+		edges = append(edges, graph.Edge{U: rep[rng.Intn(i)], V: rep[i], W: rng.Weight(cfg.MaxWeight)})
+	}
+	return graph.FromEdges(g.NumVertices(), edges)
+}

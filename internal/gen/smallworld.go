@@ -1,0 +1,82 @@
+package gen
+
+import (
+	"repro/internal/graph"
+)
+
+// WattsStrogatz generates a small-world graph: a ring lattice where each
+// vertex connects to its k nearest neighbours on each side, with every
+// edge rewired to a uniform random endpoint with probability p. At small
+// k and p this family is rich in degree-2 runs and short chords — the
+// texture of infrastructure networks like as-22july06 — making it a
+// natural stressor for the ear reduction.
+func WattsStrogatz(n, k int, p float64, cfg Config, rng *RNG) *graph.Graph {
+	if n < 3 {
+		n = 3
+	}
+	if k < 1 {
+		k = 1
+	}
+	if 2*k >= n {
+		k = (n - 1) / 2
+	}
+	type pair struct{ u, v int32 }
+	seen := make(map[pair]bool, n*k)
+	norm := func(u, v int32) pair {
+		if u > v {
+			u, v = v, u
+		}
+		return pair{u, v}
+	}
+	var edges []graph.Edge
+	add := func(u, v int32) bool {
+		if u == v {
+			return false
+		}
+		key := norm(u, v)
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		edges = append(edges, graph.Edge{U: u, V: v, W: rng.Weight(cfg.MaxWeight)})
+		return true
+	}
+	for u := int32(0); u < int32(n); u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + int32(j)) % int32(n)
+			if rng.Float64() < p {
+				// rewire: keep u, pick a random target; fall back to the
+				// lattice edge if the draw collides
+				for tries := 0; tries < 10; tries++ {
+					w := rng.Int32n(int32(n))
+					if add(u, w) {
+						v = -1
+						break
+					}
+				}
+				if v < 0 {
+					continue
+				}
+			}
+			add(u, v)
+		}
+	}
+	g := graph.FromEdges(n, edges)
+	return connect(g, cfg, rng)
+}
+
+// RandomTree returns a uniform-ish random spanning tree on n vertices
+// (each vertex attaches to a random earlier vertex after a random
+// permutation) — the degenerate all-bridges case for the decomposition
+// pipelines.
+func RandomTree(n int, cfg Config, rng *RNG) *graph.Graph {
+	if n <= 0 {
+		return graph.FromEdges(0, nil)
+	}
+	b := graph.NewBuilder(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(perm[i], perm[rng.Intn(i)], rng.Weight(cfg.MaxWeight))
+	}
+	return b.Build()
+}

@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"repro/internal/graph"
+)
+
+// The transforms in this file shape a base graph toward the structural
+// profile of a Table 1 dataset: Subdivide injects degree-2 chains (the
+// vertices the ear decomposition removes), AttachPendants adds degree-1
+// trees (the vertices Banerjee-style pendant peeling removes), and
+// ChainBlocks composes several biconnected blocks through shared
+// articulation points to hit a target #BCC count.
+
+// Subdivide replaces a fraction of edges with paths: each selected edge
+// (u,v,w) becomes u—x₁—…—x_k—v where the k new interior vertices have
+// degree two and the original weight is split integrally across the path.
+// fraction selects which edges are subdivided; chainLen is the mean k.
+func Subdivide(g *graph.Graph, fraction float64, chainLen int, cfg Config, rng *RNG) *graph.Graph {
+	if fraction <= 0 || chainLen <= 0 {
+		return g
+	}
+	n := g.NumVertices()
+	var edges []graph.Edge
+	next := int32(n)
+	for _, e := range g.Edges() {
+		if e.U != e.V && rng.Float64() < fraction {
+			k := 1 + rng.Intn(2*chainLen-1) // mean ≈ chainLen
+			prev := e.U
+			for i := 0; i < k; i++ {
+				edges = append(edges, graph.Edge{U: prev, V: next, W: rng.Weight(cfg.MaxWeight)})
+				prev = next
+				next++
+			}
+			edges = append(edges, graph.Edge{U: prev, V: e.V, W: e.W})
+		} else {
+			edges = append(edges, e)
+		}
+	}
+	return graph.FromEdges(int(next), edges)
+}
+
+// AttachPendants hangs count pendant vertices (degree 1) off random
+// existing vertices, optionally in short chains of depth up to maxDepth,
+// creating the dangling trees that make real sparse graphs non-biconnected.
+func AttachPendants(g *graph.Graph, count, maxDepth int, cfg Config, rng *RNG) *graph.Graph {
+	if count <= 0 {
+		return g
+	}
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	n := g.NumVertices()
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	next := int32(n)
+	remaining := count
+	for remaining > 0 {
+		anchor := rng.Int32n(int32(n))
+		depth := 1 + rng.Intn(maxDepth)
+		if depth > remaining {
+			depth = remaining
+		}
+		prev := anchor
+		for i := 0; i < depth; i++ {
+			edges = append(edges, graph.Edge{U: prev, V: next, W: rng.Weight(cfg.MaxWeight)})
+			prev = next
+			next++
+		}
+		remaining -= depth
+	}
+	return graph.FromEdges(int(next), edges)
+}
+
+// ChainBlocks joins the given graphs into one connected graph in which each
+// input becomes (at least) one biconnected component: consecutive blocks
+// share a single vertex (an articulation point). Block i's vertex 0 is
+// identified with a random vertex of the partial result.
+func ChainBlocks(blocks []*graph.Graph, cfg Config, rng *RNG) *graph.Graph {
+	if len(blocks) == 0 {
+		return graph.FromEdges(0, nil)
+	}
+	var edges []graph.Edge
+	total := blocks[0].NumVertices()
+	edges = append(edges, blocks[0].Edges()...)
+	for _, blk := range blocks[1:] {
+		if blk.NumVertices() == 0 {
+			continue
+		}
+		// vertex 0 of blk maps onto a random existing vertex; the rest get
+		// fresh IDs total..total+nb-2.
+		anchor := rng.Int32n(int32(total))
+		offset := int32(total) - 1
+		remap := func(v int32) int32 {
+			if v == 0 {
+				return anchor
+			}
+			return v + offset
+		}
+		for _, e := range blk.Edges() {
+			edges = append(edges, graph.Edge{U: remap(e.U), V: remap(e.V), W: e.W})
+		}
+		total += blk.NumVertices() - 1
+	}
+	return graph.FromEdges(total, edges)
+}
+
+// Relabel returns an isomorphic copy of g with vertex IDs permuted
+// uniformly at random; tests use it to check algorithms are label-invariant.
+func Relabel(g *graph.Graph, rng *RNG) (*graph.Graph, []int32) {
+	n := g.NumVertices()
+	perm := rng.Perm(n)
+	edges := make([]graph.Edge, g.NumEdges())
+	for i, e := range g.Edges() {
+		edges[i] = graph.Edge{U: perm[e.U], V: perm[e.V], W: e.W}
+	}
+	return graph.FromEdges(n, edges), perm
+}

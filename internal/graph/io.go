@@ -1,0 +1,270 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// This file implements the three on-disk formats the tooling accepts:
+//
+//   - a plain weighted edge list ("u v w" per line, '#' comments), the
+//     native format of cmd/graphgen;
+//   - the DIMACS shortest-path format ("p sp n m" header, "a u v w" arcs),
+//     so published road-network instances can be fed in directly;
+//   - a subset of MatrixMarket coordinate format, the format of the
+//     University of Florida Sparse Matrix Collection the paper draws its
+//     datasets from (pattern and real, symmetric entries; diagonal entries
+//     become self-loops, which the MCB engine tolerates and APSP ignores).
+
+// WriteEdgeList writes g as a plain edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices %d edges %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the plain edge-list format. Vertices are numbered by
+// the maximum endpoint seen; a missing weight column defaults to 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxV := int32(-1)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("graph: edge list line %d: need at least 2 fields, got %q", line, text)
+		}
+		u, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %v", line, err)
+		}
+		w := 1.0
+		if len(f) >= 3 {
+			w, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: edge list line %d: %v", line, err)
+			}
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: edge list line %d: negative vertex", line)
+		}
+		if int32(u) > maxV {
+			maxV = int32(u)
+		}
+		if int32(v) > maxV {
+			maxV = int32(v)
+		}
+		edges = append(edges, Edge{U: int32(u), V: int32(v), W: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromEdges(int(maxV+1), edges), nil
+}
+
+// ReadDIMACS parses the DIMACS shortest-path format. Each undirected edge of
+// a symmetric instance appears as two "a" lines; duplicates (v,u) after
+// (u,v) are collapsed.
+func ReadDIMACS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	var edges []Edge
+	seen := make(map[[2]int32]bool)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == 'c' {
+			continue
+		}
+		f := strings.Fields(text)
+		switch f[0] {
+		case "p":
+			if len(f) < 4 {
+				return nil, fmt.Errorf("graph: dimacs line %d: malformed problem line", line)
+			}
+			var err error
+			n, err = strconv.Atoi(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: dimacs line %d: %v", line, err)
+			}
+		case "a", "e":
+			if len(f) < 3 {
+				return nil, fmt.Errorf("graph: dimacs line %d: malformed arc line", line)
+			}
+			u64, err := strconv.ParseInt(f[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: dimacs line %d: %v", line, err)
+			}
+			v64, err := strconv.ParseInt(f[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: dimacs line %d: %v", line, err)
+			}
+			w := 1.0
+			if len(f) >= 4 {
+				w, err = strconv.ParseFloat(f[3], 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: dimacs line %d: %v", line, err)
+				}
+			}
+			u, v := int32(u64-1), int32(v64-1) // DIMACS is 1-based
+			if u < 0 || v < 0 {
+				return nil, fmt.Errorf("graph: dimacs line %d: vertex below 1", line)
+			}
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int32{a, b}] {
+				continue
+			}
+			seen[[2]int32{a, b}] = true
+			edges = append(edges, Edge{U: u, V: v, W: w})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("graph: dimacs input missing problem line")
+	}
+	return FromEdges(n, edges), nil
+}
+
+// ReadMatrixMarket parses symmetric coordinate MatrixMarket files (pattern
+// or real). Entries above the diagonal of a symmetric matrix are mirrored by
+// the format's convention of storing only one triangle, so each coordinate
+// entry becomes one undirected edge. Explicit zeros are skipped; negative
+// values are taken by absolute value since the paper's datasets are used as
+// positive-weight graphs.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	header := false
+	dims := false
+	n := 0
+	pattern := false
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if !header {
+			if !strings.HasPrefix(text, "%%MatrixMarket") {
+				return nil, fmt.Errorf("graph: not a MatrixMarket file")
+			}
+			low := strings.ToLower(text)
+			if !strings.Contains(low, "coordinate") {
+				return nil, fmt.Errorf("graph: only coordinate MatrixMarket supported")
+			}
+			pattern = strings.Contains(low, "pattern")
+			header = true
+			continue
+		}
+		if strings.HasPrefix(text, "%") {
+			continue
+		}
+		f := strings.Fields(text)
+		if !dims {
+			if len(f) < 3 {
+				return nil, fmt.Errorf("graph: mm line %d: malformed size line", line)
+			}
+			rows, err := strconv.Atoi(f[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: mm line %d: %v", line, err)
+			}
+			cols, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: mm line %d: %v", line, err)
+			}
+			if rows != cols {
+				return nil, fmt.Errorf("graph: mm matrix must be square, got %dx%d", rows, cols)
+			}
+			n = rows
+			dims = true
+			continue
+		}
+		if len(f) < 2 {
+			return nil, fmt.Errorf("graph: mm line %d: malformed entry", line)
+		}
+		i64, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: mm line %d: %v", line, err)
+		}
+		j64, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: mm line %d: %v", line, err)
+		}
+		w := 1.0
+		if !pattern && len(f) >= 3 {
+			w, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: mm line %d: %v", line, err)
+			}
+			if w < 0 {
+				w = -w
+			}
+			if w == 0 {
+				continue
+			}
+		}
+		u, v := int32(i64-1), int32(j64-1)
+		if u < 0 || v < 0 || int(u) >= n || int(v) >= n {
+			return nil, fmt.Errorf("graph: mm line %d: index out of range", line)
+		}
+		edges = append(edges, Edge{U: u, V: v, W: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !dims {
+		return nil, fmt.Errorf("graph: mm input missing size line")
+	}
+	return FromEdges(n, edges), nil
+}
+
+// LoadFile reads a graph, selecting the parser by file extension:
+// .mtx → MatrixMarket, .gr/.dimacs → DIMACS, anything else → edge list.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".mtx"):
+		return ReadMatrixMarket(f)
+	case strings.HasSuffix(path, ".gr"), strings.HasSuffix(path, ".dimacs"):
+		return ReadDIMACS(f)
+	case strings.HasSuffix(path, ".earg"):
+		return ReadBinary(f)
+	default:
+		return ReadEdgeList(f)
+	}
+}

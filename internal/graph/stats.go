@@ -1,0 +1,129 @@
+package graph
+
+// Stats summarises the structural properties the paper's Table 1 reports
+// for each dataset.
+type Stats struct {
+	Vertices    int
+	Edges       int
+	SelfLoops   int
+	MaxDegree   int
+	Degree1     int // pendant vertices
+	Degree2     int // candidates for ear removal
+	IsConnected bool
+	Components  int
+}
+
+// ComputeStats scans the graph once and returns its structural summary.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Vertices: g.NumVertices(), Edges: g.NumEdges()}
+	for _, e := range g.Edges() {
+		if e.U == e.V {
+			s.SelfLoops++
+		}
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		d := g.Degree(v)
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		switch d {
+		case 1:
+			s.Degree1++
+		case 2:
+			s.Degree2++
+		}
+	}
+	s.Components = CountComponents(g)
+	s.IsConnected = s.Components <= 1
+	return s
+}
+
+// CountComponents returns the number of connected components.
+func CountComponents(g *Graph) int {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	seen := make([]bool, n)
+	stack := make([]int32, 0, 64)
+	comps := 0
+	for start := int32(0); start < int32(n); start++ {
+		if seen[start] {
+			continue
+		}
+		comps++
+		seen[start] = true
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			lo, hi := g.AdjacencyRange(v)
+			adj := g.AdjNode()
+			for i := lo; i < hi; i++ {
+				if u := adj[i]; !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// ComponentLabels assigns each vertex a component index in [0, #components)
+// and returns the labels together with the component count.
+func ComponentLabels(g *Graph) (labels []int32, count int) {
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	stack := make([]int32, 0, 64)
+	for start := int32(0); start < int32(n); start++ {
+		if labels[start] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[start] = id
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			lo, hi := g.AdjacencyRange(v)
+			adj := g.AdjNode()
+			for i := lo; i < hi; i++ {
+				if u := adj[i]; labels[u] < 0 {
+					labels[u] = id
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent returns the vertices of the largest connected component.
+func LargestComponent(g *Graph) []int32 {
+	labels, count := ComponentLabels(g)
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	out := make([]int32, 0, sizes[best])
+	for v, l := range labels {
+		if int(l) == best {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}

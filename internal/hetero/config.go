@@ -1,0 +1,109 @@
+package hetero
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Platform configuration files let users recalibrate the device model to
+// their own hardware (or to a different GPU generation) without
+// recompiling. The JSON mirrors the Device struct:
+//
+//	[
+//	  {"name": "cpu", "slots": 8, "opsPerSec": 2e8, "streamOpsPerSec": 2e9,
+//	   "batchSize": 4},
+//	  {"name": "gpu", "slots": 1, "opsPerSec": 2e9, "streamOpsPerSec": 2e10,
+//	   "launchOverhead": 5e-6, "batchSize": 256, "big": true}
+//	]
+
+type deviceJSON struct {
+	Name            string  `json:"name"`
+	Slots           int     `json:"slots"`
+	OpsPerSec       float64 `json:"opsPerSec"`
+	StreamOpsPerSec float64 `json:"streamOpsPerSec"`
+	LaunchOverhead  float64 `json:"launchOverhead"`
+	BatchSize       int     `json:"batchSize"`
+	Big             bool    `json:"big"`
+}
+
+// ReadDevices parses a platform configuration.
+func ReadDevices(r io.Reader) ([]*Device, error) {
+	var raw []deviceJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("hetero: device config: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("hetero: device config is empty")
+	}
+	out := make([]*Device, 0, len(raw))
+	seen := map[string]bool{}
+	for i, d := range raw {
+		if d.Name == "" {
+			return nil, fmt.Errorf("hetero: device %d has no name", i)
+		}
+		if seen[d.Name] {
+			return nil, fmt.Errorf("hetero: duplicate device name %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Slots <= 0 {
+			return nil, fmt.Errorf("hetero: device %q needs slots > 0", d.Name)
+		}
+		if d.OpsPerSec <= 0 {
+			return nil, fmt.Errorf("hetero: device %q needs opsPerSec > 0", d.Name)
+		}
+		if d.LaunchOverhead < 0 {
+			return nil, fmt.Errorf("hetero: device %q has negative launch overhead", d.Name)
+		}
+		dev := &Device{
+			Name:            d.Name,
+			Slots:           d.Slots,
+			OpsPerSec:       d.OpsPerSec,
+			StreamOpsPerSec: d.StreamOpsPerSec,
+			LaunchOverhead:  d.LaunchOverhead,
+			BatchSize:       d.BatchSize,
+			Big:             d.Big,
+		}
+		if dev.StreamOpsPerSec <= 0 {
+			dev.StreamOpsPerSec = dev.OpsPerSec
+		}
+		if dev.BatchSize <= 0 {
+			dev.BatchSize = 1
+		}
+		out = append(out, dev)
+	}
+	return out, nil
+}
+
+// LoadDevices reads a platform configuration file.
+func LoadDevices(path string) ([]*Device, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDevices(f)
+}
+
+// WriteDevices serialises a device set (the inverse of ReadDevices), used
+// to export the built-in calibration as a starting point for edits.
+func WriteDevices(w io.Writer, devices []*Device) error {
+	raw := make([]deviceJSON, len(devices))
+	for i, d := range devices {
+		raw[i] = deviceJSON{
+			Name:            d.Name,
+			Slots:           d.Slots,
+			OpsPerSec:       d.OpsPerSec,
+			StreamOpsPerSec: d.StreamOpsPerSec,
+			LaunchOverhead:  d.LaunchOverhead,
+			BatchSize:       d.BatchSize,
+			Big:             d.Big,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(raw)
+}

@@ -1,0 +1,96 @@
+package hetero
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file provides real goroutine-based parallel execution, used when the
+// host actually has multiple cores. The benchmark harness reports both this
+// wall-clock path and the virtual-clock path of schedule.go.
+
+// Workers returns a sensible worker count: GOMAXPROCS.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// ParallelFor executes fn(i) for i in [0,n) across the given number of
+// workers using a dynamic counter (small grain, good balance for skewed
+// per-iteration work like per-source Dijkstra).
+func ParallelFor(workers, n int, fn func(worker, i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// HybridRun drains the deque with cpuWorkers goroutines popping small
+// batches and one proxy goroutine popping big batches (standing in for the
+// GPU stream). execCPU and execBig run the CPU-structured and
+// GPU-structured kernels for one unit respectively. This is the wall-clock
+// analogue of Run; it returns per-side unit counts.
+func HybridRun(units []Unit, cpuWorkers, cpuBatch, bigBatch int, execCPU, execBig func(u Unit)) (cpuUnits, bigUnits int) {
+	d := NewDeque(units)
+	if cpuWorkers < 1 {
+		cpuWorkers = 1
+	}
+	if cpuBatch < 1 {
+		cpuBatch = 1
+	}
+	if bigBatch < 1 {
+		bigBatch = 1
+	}
+	var cpuCount, bigCount int64
+	var wg sync.WaitGroup
+	wg.Add(cpuWorkers + 1)
+	for w := 0; w < cpuWorkers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				batch := d.PopSmall(cpuBatch)
+				if len(batch) == 0 {
+					return
+				}
+				for _, u := range batch {
+					execCPU(u)
+				}
+				atomic.AddInt64(&cpuCount, int64(len(batch)))
+			}
+		}()
+	}
+	go func() {
+		defer wg.Done()
+		for {
+			batch := d.PopBig(bigBatch)
+			if len(batch) == 0 {
+				return
+			}
+			for _, u := range batch {
+				execBig(u)
+			}
+			atomic.AddInt64(&bigCount, int64(len(batch)))
+		}
+	}()
+	wg.Wait()
+	return int(cpuCount), int(bigCount)
+}

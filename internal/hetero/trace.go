@@ -1,0 +1,157 @@
+package hetero
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TraceEvent is one executed batch in a traced schedule.
+type TraceEvent struct {
+	Device string
+	Slot   int
+	Start  float64 // virtual seconds
+	End    float64
+	Units  int
+}
+
+// Trace is a recorded schedule: the events of every slot, ordered by start
+// time, plus the resulting Schedule summary.
+type Trace struct {
+	Schedule *Schedule
+	Events   []TraceEvent
+}
+
+// RunTraced is Run with event recording, for schedule inspection and the
+// Gantt rendering below.
+func RunTraced(units []Unit, devices []*Device, exec func(u Unit, d *Device) Cost) *Trace {
+	d := NewDeque(units)
+	s := &Schedule{
+		BusyByDevice:  make(map[string]float64, len(devices)),
+		UnitsByDevice: make(map[string]int, len(devices)),
+	}
+	tr := &Trace{Schedule: s}
+	var h slotHeap
+	idx := 0
+	slotIndex := map[*slot]int{}
+	for _, dev := range devices {
+		for i := 0; i < dev.Slots; i++ {
+			sl := &slot{dev: dev, index: idx}
+			slotIndex[sl] = i
+			h = append(h, sl)
+			idx++
+		}
+	}
+	heap.Init(&h)
+	costs := make([]Cost, 0, 64)
+	for d.Remaining() > 0 && len(h) > 0 {
+		sl := heap.Pop(&h).(*slot)
+		var batch []Unit
+		if sl.dev.Big {
+			batch = d.PopBig(sl.dev.BatchSize)
+		} else {
+			batch = d.PopSmall(sl.dev.BatchSize)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		costs = costs[:0]
+		for _, u := range batch {
+			c := exec(u, sl.dev)
+			costs = append(costs, c)
+			s.TotalOps += c.Ops
+		}
+		dt := sl.dev.slotTime(costs)
+		tr.Events = append(tr.Events, TraceEvent{
+			Device: sl.dev.Name,
+			Slot:   slotIndex[sl],
+			Start:  sl.clock,
+			End:    sl.clock + dt,
+			Units:  len(batch),
+		})
+		sl.clock += dt
+		s.BusyByDevice[sl.dev.Name] += dt
+		s.UnitsByDevice[sl.dev.Name] += len(batch)
+		if sl.clock > s.Makespan {
+			s.Makespan = sl.clock
+		}
+		heap.Push(&h, sl)
+	}
+	sort.Slice(tr.Events, func(i, j int) bool {
+		if tr.Events[i].Device != tr.Events[j].Device {
+			return tr.Events[i].Device < tr.Events[j].Device
+		}
+		if tr.Events[i].Slot != tr.Events[j].Slot {
+			return tr.Events[i].Slot < tr.Events[j].Slot
+		}
+		return tr.Events[i].Start < tr.Events[j].Start
+	})
+	return tr
+}
+
+// WriteGantt renders the trace as a text Gantt chart, one row per slot,
+// width columns across the makespan. Busy time is drawn with '#', idle
+// with '.'.
+func (tr *Trace) WriteGantt(w io.Writer, width int) error {
+	if width < 10 {
+		width = 80
+	}
+	makespan := tr.Schedule.Makespan
+	if makespan <= 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	type row struct {
+		label string
+		cells []bool
+	}
+	rows := map[string]*row{}
+	var order []string
+	for _, e := range tr.Events {
+		key := fmt.Sprintf("%s/%02d", e.Device, e.Slot)
+		r, ok := rows[key]
+		if !ok {
+			r = &row{label: key, cells: make([]bool, width)}
+			rows[key] = r
+			order = append(order, key)
+		}
+		lo := int(e.Start / makespan * float64(width))
+		hi := int(e.End / makespan * float64(width))
+		if hi == lo {
+			hi = lo + 1
+		}
+		for i := lo; i < hi && i < width; i++ {
+			r.cells[i] = true
+		}
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		r := rows[key]
+		var b strings.Builder
+		for _, busy := range r.cells {
+			if busy {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-14s |%s|\n", r.label, b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-14s  makespan %.4fs, %d ops\n", "", makespan, tr.Schedule.TotalOps)
+	return err
+}
+
+// Utilization returns busy/(makespan·slots) per device.
+func (tr *Trace) Utilization(devices []*Device) map[string]float64 {
+	out := map[string]float64{}
+	for _, d := range devices {
+		if tr.Schedule.Makespan > 0 {
+			out[d.Name] = tr.Schedule.BusyByDevice[d.Name] / (tr.Schedule.Makespan * float64(d.Slots))
+		}
+	}
+	return out
+}

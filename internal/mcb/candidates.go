@@ -1,0 +1,107 @@
+package mcb
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+// candidate is one Horton/isometric candidate cycle C_ze: the shortest
+// path tree rooted at roots[root] plus the non-tree edge `edge`, of total
+// (perturbed) weight `weight`. Self-loop cycles carry root == -1.
+type candidate struct {
+	root   int32 // index into the roots slice, -1 for self-loops
+	edge   int32 // edge ID in the working graph
+	weight graph.Weight
+}
+
+// candidateSet is the processing-phase state shared by all drivers: the
+// shortest path trees from every root and the weight-sorted candidate list.
+type candidateSet struct {
+	g     *graph.Graph
+	roots []int32
+	trees []*sssp.Tree
+	// depth[ri] is the height of tree ri (the number of level-synchronous
+	// sweeps a GPU label kernel needs).
+	depths []int
+	cands  []candidate
+	// TreeOps is the Dijkstra work of building the trees; Rejected counts
+	// Horton cycles discarded by the isometric (LCA) filter.
+	TreeOps  int64
+	Rejected int64
+}
+
+// buildCandidates constructs the shortest path trees from each root and
+// enumerates the candidate cycles, applying the Mehlhorn–Michail filter:
+// keep C_ze only when z is the least common ancestor of e's endpoints in
+// T_z (Section 3.3.2), which prunes the Horton set to the isometric
+// candidates; Rejected records the pruned count.
+func buildCandidates(g *graph.Graph, roots []int32) *candidateSet {
+	cs := &candidateSet{g: g, roots: roots}
+	cs.trees = make([]*sssp.Tree, len(roots))
+	cs.depths = make([]int, len(roots))
+	for ri, z := range roots {
+		res := sssp.Dijkstra(g, z, nil)
+		cs.TreeOps += res.Relaxations
+		t := sssp.BuildTree(res)
+		cs.trees[ri] = t
+		for _, v := range t.Order {
+			if int(t.Depth[v]) > cs.depths[ri] {
+				cs.depths[ri] = int(t.Depth[v])
+			}
+		}
+		cs.depths[ri]++ // sweeps = height+1
+	}
+	for ri, z := range roots {
+		t := cs.trees[ri]
+		for eid, e := range g.Edges() {
+			if e.U == e.V {
+				continue // self-loops handled once below
+			}
+			if t.ParentEdge[e.U] == int32(eid) || t.ParentEdge[e.V] == int32(eid) {
+				continue // tree edge of T_z
+			}
+			if !t.InTree(e.U) || !t.InTree(e.V) {
+				continue // unreachable from z
+			}
+			if t.LCA(e.U, e.V) != z {
+				// Mehlhorn–Michail isometric filter: when z is not the
+				// least common ancestor, the two tree paths share edges
+				// and the candidate degenerates to a closed walk rather
+				// than a simple cycle. Rejected records how much of the
+				// raw Horton set the filter prunes.
+				cs.Rejected++
+				continue
+			}
+			w := t.Dist[e.U] + e.W + t.Dist[e.V]
+			cs.cands = append(cs.cands, candidate{root: int32(ri), edge: int32(eid), weight: w})
+		}
+	}
+	for eid, e := range g.Edges() {
+		if e.U == e.V {
+			cs.cands = append(cs.cands, candidate{root: -1, edge: int32(eid), weight: e.W})
+		}
+	}
+	sort.SliceStable(cs.cands, func(i, j int) bool { return cs.cands[i].weight < cs.cands[j].weight })
+	return cs
+}
+
+// cycleEdges materialises the edge ID list of candidate c (tree path
+// z→u, the edge, tree path v→z). With the LCA filter the two paths are
+// edge-disjoint, so the list is a simple cycle.
+func (cs *candidateSet) cycleEdges(c candidate) []int32 {
+	if c.root < 0 {
+		return []int32{c.edge}
+	}
+	t := cs.trees[c.root]
+	e := cs.g.Edge(c.edge)
+	out := []int32{c.edge}
+	for x := e.U; t.Parent[x] >= 0; x = t.Parent[x] {
+		out = append(out, t.ParentEdge[x])
+	}
+	for x := e.V; t.Parent[x] >= 0; x = t.Parent[x] {
+		out = append(out, t.ParentEdge[x])
+	}
+	return out
+}

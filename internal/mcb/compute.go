@@ -1,0 +1,76 @@
+package mcb
+
+import (
+	"repro/internal/bcc"
+	"repro/internal/ear"
+	"repro/internal/graph"
+)
+
+// Compute returns a minimum weight cycle basis of g.
+//
+// Following Section 3.3, the graph is split into biconnected components (no
+// MCB cycle spans two components); each component is optionally
+// ear-reduced (Lemma 3.1), solved with the De Pina/Mehlhorn–Michail engine
+// on the selected platform, and the basis cycles are expanded back to
+// original edge IDs by substituting each contracted chain.
+func Compute(g *graph.Graph, opts Options) *Result {
+	opts = opts.withDefaults()
+	total := &Result{}
+	dec := bcc.Compute(g)
+	subs := dec.Subgraphs(g)
+	for si, sub := range subs {
+		local := sub.G
+		// Quick skip: a component contributes cycles only if it has at
+		// least as many edges as a spanning tree.
+		if local.NumEdges() < local.NumVertices() {
+			hasLoop := false
+			for _, e := range local.Edges() {
+				if e.U == e.V {
+					hasLoop = true
+					break
+				}
+			}
+			if !hasLoop {
+				continue
+			}
+		}
+		seed := opts.Seed + uint64(si)*0x9e3779b97f4a7c15
+		var localCycles [][]int32
+		var r *Result
+		if opts.UseEar {
+			red := ear.Reduce(local, ear.MCB)
+			work := perturb(red.R, seed)
+			var reduced [][]int32
+			reduced, r = solveCore(work, opts)
+			r.NodesRemoved = red.NumRemoved()
+			for _, rc := range reduced {
+				var expanded []int32
+				for _, re := range rc {
+					expanded = append(expanded, red.ExpandEdge(re)...)
+				}
+				localCycles = append(localCycles, expanded)
+			}
+		} else {
+			work := perturb(local, seed)
+			localCycles, r = solveCore(work, opts)
+		}
+		for _, lc := range localCycles {
+			c := Cycle{Edges: make([]int32, len(lc))}
+			for i, le := range lc {
+				pe := sub.ToParentEdge[le]
+				c.Edges[i] = pe
+				c.Weight += g.Edge(pe).W
+			}
+			r.TotalWeight += c.Weight
+			r.Cycles = append(r.Cycles, c)
+		}
+		total.merge(r)
+	}
+	return total
+}
+
+// Dim returns the cycle space dimension m − n + k of g, the expected basis
+// size.
+func Dim(g *graph.Graph) int {
+	return g.NumEdges() - g.NumVertices() + graph.CountComponents(g)
+}

@@ -1,0 +1,127 @@
+package mcb
+
+import (
+	"repro/internal/bcc"
+	"repro/internal/bitvec"
+	"repro/internal/ear"
+	"repro/internal/graph"
+)
+
+// HortonMCB is Horton's original algorithm [18]: generate the candidate
+// cycles from every shortest path tree, sort by weight, and greedily keep
+// each cycle that is linearly independent (GF(2) Gaussian elimination) of
+// those already kept. By the matroid greedy theorem this yields a minimum
+// weight basis of the cycle space. It is the paper's historical baseline;
+// at O(f·candidates·f/64) it is far slower than De Pina on large graphs and
+// serves here as an independent correctness oracle and an ablation point.
+//
+// When useEar is set the Lemma 3.1 reduction is applied first, as in
+// Compute.
+func HortonMCB(g *graph.Graph, useEar bool, seed uint64) *Result {
+	if seed == 0 {
+		seed = 0x517cc1b727220a95
+	}
+	total := &Result{}
+	dec := bcc.Compute(g)
+	for si, sub := range dec.Subgraphs(g) {
+		local := sub.G
+		seedI := seed + uint64(si)*0x9e3779b97f4a7c15
+		var localCycles [][]int32
+		var r *Result
+		if useEar {
+			red := ear.Reduce(local, ear.MCB)
+			var reduced [][]int32
+			reduced, r = hortonCore(perturb(red.R, seedI))
+			r.NodesRemoved = red.NumRemoved()
+			for _, rc := range reduced {
+				var expanded []int32
+				for _, re := range rc {
+					expanded = append(expanded, red.ExpandEdge(re)...)
+				}
+				localCycles = append(localCycles, expanded)
+			}
+		} else {
+			localCycles, r = hortonCore(perturb(local, seedI))
+		}
+		for _, lc := range localCycles {
+			c := Cycle{Edges: make([]int32, len(lc))}
+			for i, le := range lc {
+				pe := sub.ToParentEdge[le]
+				c.Edges[i] = pe
+				c.Weight += g.Edge(pe).W
+			}
+			r.TotalWeight += c.Weight
+			r.Cycles = append(r.Cycles, c)
+		}
+		total.merge(r)
+	}
+	return total
+}
+
+func hortonCore(g *graph.Graph) (cycles [][]int32, res *Result) {
+	res = &Result{}
+	sp := buildSpanning(g)
+	f := sp.dim()
+	res.Dim = f
+	if f == 0 {
+		return nil, res
+	}
+	// Horton's formulation roots a tree at every vertex.
+	var roots []int32
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		roots = append(roots, v)
+	}
+	cs := buildCandidates(g, roots)
+	res.TreeOps = cs.TreeOps
+	res.NumRoots = len(roots)
+	res.NumCandidates = len(cs.cands)
+	res.RejectedCandidates = int(cs.Rejected)
+
+	// Greedy independence via incremental Gaussian elimination with a
+	// pivot-to-row map: a candidate vector is repeatedly reduced by the row
+	// owning its lowest set bit; if it survives non-zero it claims that
+	// pivot, otherwise it is dependent.
+	pivotRow := make([]*bitvec.Vector, f)
+	rank := 0
+	tryAdd := func(vecEdges []int32) bool {
+		v := bitvec.New(f)
+		for _, eid := range vecEdges {
+			if idx := sp.nontreeIndex[eid]; idx >= 0 {
+				v.Flip(int(idx))
+			}
+		}
+		for {
+			p := v.FirstOne()
+			if p < 0 {
+				return false
+			}
+			if pivotRow[p] == nil {
+				pivotRow[p] = v
+				rank++
+				return true
+			}
+			res.SearchOps += int64(f+63) / 64
+			v.Xor(pivotRow[p])
+		}
+	}
+	for _, c := range cs.cands {
+		if rank == f {
+			break
+		}
+		ce := cs.cycleEdges(c)
+		if tryAdd(ce) {
+			cycles = append(cycles, ce)
+		}
+	}
+	// The candidate set misses part of the space only on pathological tie
+	// patterns; complete the basis with fundamental cycles so the result is
+	// always a basis.
+	for i := 0; i < f && rank < f; i++ {
+		fc := sp.fundamentalCycle(sp.nontree[i])
+		if tryAdd(fc) {
+			res.Fallbacks++
+			cycles = append(cycles, fc)
+		}
+	}
+	return cycles, res
+}

@@ -1,0 +1,125 @@
+package mcb
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Convenience accessors over a computed basis.
+
+// SortedCycles returns the basis cycles ordered by increasing weight
+// (ties by fewer edges, then insertion order). The Result is not
+// modified.
+func (r *Result) SortedCycles() []Cycle {
+	out := append([]Cycle(nil), r.Cycles...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight < out[j].Weight
+		}
+		return len(out[i].Edges) < len(out[j].Edges)
+	})
+	return out
+}
+
+// MinimumCycle returns the lightest basis cycle and true, or a zero Cycle
+// and false for an acyclic graph. By the matroid greedy property the
+// lightest element of any minimum cycle basis is a minimum weight cycle of
+// the whole graph, so this doubles as a (weighted) girth witness.
+func (r *Result) MinimumCycle() (Cycle, bool) {
+	if len(r.Cycles) == 0 {
+		return Cycle{}, false
+	}
+	best := r.Cycles[0]
+	for _, c := range r.Cycles[1:] {
+		if c.Weight < best.Weight || (c.Weight == best.Weight && len(c.Edges) < len(best.Edges)) {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// CyclesThroughVertex returns the basis cycles that touch v (as indices
+// into r.Cycles). In ring-perception terms: the rings atom v belongs to.
+func (r *Result) CyclesThroughVertex(g *graph.Graph, v int32) []int {
+	var out []int
+	for ci, c := range r.Cycles {
+		for _, eid := range c.Edges {
+			e := g.Edge(eid)
+			if e.U == v || e.V == v {
+				out = append(out, ci)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CyclesThroughEdge returns the basis cycles containing edge eid.
+func (r *Result) CyclesThroughEdge(eid int32) []int {
+	var out []int
+	for ci, c := range r.Cycles {
+		for _, e := range c.Edges {
+			if e == eid {
+				out = append(out, ci)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// VertexSequence orders a cycle's vertices by walking its edges; it
+// returns false for basis elements that are not a single closed walk
+// (cannot happen for cycles produced by this package, but the function is
+// defensive for externally constructed Results).
+func VertexSequence(g *graph.Graph, c Cycle) ([]int32, bool) {
+	if len(c.Edges) == 0 {
+		return nil, false
+	}
+	if len(c.Edges) == 1 {
+		e := g.Edge(c.Edges[0])
+		if e.U != e.V {
+			return nil, false
+		}
+		return []int32{e.U}, true
+	}
+	adj := map[int32][]int32{}
+	for _, eid := range c.Edges {
+		e := g.Edge(eid)
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	for _, nb := range adj {
+		if len(nb) != 2 {
+			return nil, false
+		}
+	}
+	start := g.Edge(c.Edges[0]).U
+	out := []int32{start}
+	prev, cur := int32(-1), start
+	for len(out) < len(c.Edges) {
+		nbs := adj[cur]
+		next := nbs[0]
+		if next == prev {
+			next = nbs[1]
+		}
+		// parallel-edge pair: both neighbours equal prev
+		if next == prev && nbs[1] == prev {
+			next = nbs[1]
+		}
+		prev, cur = cur, next
+		out = append(out, cur)
+	}
+	// must close back to start
+	closes := false
+	for _, nb := range adj[cur] {
+		if nb == start {
+			closes = true
+		}
+	}
+	if !closes {
+		return nil, false
+	}
+	return out, true
+}

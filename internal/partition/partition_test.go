@@ -1,0 +1,99 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestPartitionBasics(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 5}
+	rng := gen.NewRNG(3)
+	g := gen.TriangulatedGrid(12, 12, cfg, rng)
+	for _, k := range []int{1, 2, 4, 8} {
+		part := Partition(g, k, 4)
+		if len(part) != g.NumVertices() {
+			t.Fatalf("k=%d: wrong label count", k)
+		}
+		sizes := Sizes(part, k)
+		nonEmpty := 0
+		for _, s := range sizes {
+			if s > 0 {
+				nonEmpty++
+			}
+		}
+		if nonEmpty != k {
+			t.Fatalf("k=%d: %d non-empty parts", k, nonEmpty)
+		}
+		// balance: no part more than 2x the ideal on a mesh
+		ideal := g.NumVertices() / k
+		for p, s := range sizes {
+			if s > 2*ideal+2 {
+				t.Fatalf("k=%d: part %d has %d vertices (ideal %d)", k, p, s, ideal)
+			}
+		}
+	}
+}
+
+func TestPartitionSmallBoundaryOnMesh(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 3}
+	rng := gen.NewRNG(7)
+	g := gen.TriangulatedGrid(20, 20, cfg, rng)
+	part := Partition(g, 4, 6)
+	b := Boundary(g, part)
+	// A 4-way cut of a 20x20 mesh should have a boundary far below n.
+	if len(b) > g.NumVertices()/3 {
+		t.Fatalf("boundary %d of %d vertices — partitioner useless", len(b), g.NumVertices())
+	}
+	cut := CutEdges(g, part)
+	if cut <= 0 || cut >= g.NumEdges()/2 {
+		t.Fatalf("cut %d of %d edges", cut, g.NumEdges())
+	}
+}
+
+func TestPartitionDisconnected(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for i := int32(0); i < 4; i++ {
+		b.AddEdge(i, (i+1)%5, 1)
+	}
+	b.AddEdge(5, 6, 1)
+	b.AddEdge(6, 7, 1) // vertices 8,9 isolated
+	g := b.Build()
+	part := Partition(g, 3, 2)
+	for v, p := range part {
+		if p < 0 || p >= 3 {
+			t.Fatalf("vertex %d unassigned: %d", v, p)
+		}
+	}
+}
+
+func TestRefinementReducesCut(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 2}
+	rng := gen.NewRNG(11)
+	g := gen.TriangulatedGrid(15, 15, cfg, rng)
+	noRefine := Partition(g, 4, 0)
+	refined := Partition(g, 4, 6)
+	if CutEdges(g, refined) > CutEdges(g, noRefine) {
+		t.Fatalf("refinement increased the cut: %d -> %d",
+			CutEdges(g, noRefine), CutEdges(g, refined))
+	}
+}
+
+func TestBoundaryDefinition(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 2}
+	rng := gen.NewRNG(13)
+	g := gen.GNM(60, 150, cfg, rng)
+	part := Partition(g, 3, 3)
+	isB := make(map[int32]bool)
+	for _, v := range Boundary(g, part) {
+		isB[v] = true
+	}
+	for _, e := range g.Edges() {
+		if part[e.U] != part[e.V] {
+			if !isB[e.U] || !isB[e.V] {
+				t.Fatal("cut edge endpoint missing from boundary")
+			}
+		}
+	}
+}

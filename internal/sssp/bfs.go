@@ -1,0 +1,54 @@
+package sssp
+
+import (
+	"repro/internal/graph"
+)
+
+// UnitWeights reports whether every edge has weight exactly 1, the common
+// hop-count case where BFS replaces Dijkstra.
+func UnitWeights(g *graph.Graph) bool {
+	for _, e := range g.Edges() {
+		if e.W != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// BFS computes single-source shortest paths on a unit-weight graph in
+// O(n+m) with a plain queue — the fast path the centrality and APSP
+// engines select when UnitWeights holds.
+func BFS(g *graph.Graph, source int32) *Result {
+	n := g.NumVertices()
+	res := &Result{
+		Source:     source,
+		Dist:       make([]graph.Weight, n),
+		Parent:     make([]int32, n),
+		ParentEdge: make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		res.Dist[i] = Inf
+		res.Parent[i] = -1
+		res.ParentEdge[i] = -1
+	}
+	res.Dist[source] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, source)
+	adjNode, adjEdge := g.AdjNode(), g.AdjEdge()
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		dv := res.Dist[v]
+		lo, hi := g.AdjacencyRange(v)
+		for i := lo; i < hi; i++ {
+			u, eid := adjNode[i], adjEdge[i]
+			res.Relaxations++
+			if res.Dist[u] >= Inf && u != v {
+				res.Dist[u] = dv + 1
+				res.Parent[u] = v
+				res.ParentEdge[u] = eid
+				queue = append(queue, u)
+			}
+		}
+	}
+	return res
+}

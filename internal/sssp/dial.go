@@ -1,0 +1,127 @@
+package sssp
+
+import (
+	"math"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+)
+
+// IntegralWeights reports whether every edge weight is a non-negative
+// integer, and the maximum weight — the precondition for Dial's algorithm.
+func IntegralWeights(g *graph.Graph) (ok bool, maxW int) {
+	for _, e := range g.Edges() {
+		w := e.W
+		if w < 0 || w != math.Trunc(w) || w > 1<<30 {
+			return false, 0
+		}
+		if int(w) > maxW {
+			maxW = int(w)
+		}
+	}
+	return true, maxW
+}
+
+// Dial computes single-source shortest paths with a monotone bucket queue
+// (Dial's algorithm): O(m + n·maxW) time with O(1) queue operations, a
+// better fit than a binary heap for the small integral weights our
+// generators produce. Lazy deletion is used: a popped vertex whose bucket
+// key no longer matches its distance is stale and skipped.
+//
+// The caller must ensure weights are integral (see IntegralWeights);
+// otherwise results are undefined.
+func Dial(g *graph.Graph, source int32, maxW int) *Result {
+	n := g.NumVertices()
+	res := &Result{
+		Source:     source,
+		Dist:       make([]graph.Weight, n),
+		Parent:     make([]int32, n),
+		ParentEdge: make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		res.Dist[i] = Inf
+		res.Parent[i] = -1
+		res.ParentEdge[i] = -1
+	}
+	// The longest shortest path is at most (n-1)·maxW.
+	q := ds.NewBucketQueue((n-1)*maxW + 1)
+	res.Dist[source] = 0
+	q.Push(source, 0)
+	adjNode, adjEdge := g.AdjNode(), g.AdjEdge()
+	edges := g.Edges()
+	for q.Len() > 0 {
+		v, key := q.Pop()
+		if graph.Weight(key) != res.Dist[v] {
+			continue // stale entry
+		}
+		dv := res.Dist[v]
+		lo, hi := g.AdjacencyRange(v)
+		for i := lo; i < hi; i++ {
+			u, eid := adjNode[i], adjEdge[i]
+			res.Relaxations++
+			nd := dv + edges[eid].W
+			if nd < res.Dist[u] {
+				res.Dist[u] = nd
+				res.Parent[u] = v
+				res.ParentEdge[u] = eid
+				q.Push(u, int(nd))
+			}
+		}
+	}
+	return res
+}
+
+// BiDijkstra computes the point-to-point distance between s and t with a
+// bidirectional search, settling vertices alternately from both ends and
+// stopping when the frontiers' radii cover the best meeting distance. It
+// visits far fewer vertices than a full Dijkstra on large graphs when only
+// one distance is needed.
+func BiDijkstra(g *graph.Graph, s, t int32) graph.Weight {
+	if s == t {
+		return 0
+	}
+	n := g.NumVertices()
+	distF := make([]graph.Weight, n)
+	distB := make([]graph.Weight, n)
+	for i := 0; i < n; i++ {
+		distF[i] = Inf
+		distB[i] = Inf
+	}
+	hf := ds.NewIndexedHeap(n)
+	hb := ds.NewIndexedHeap(n)
+	distF[s] = 0
+	distB[t] = 0
+	hf.Push(s, 0)
+	hb.Push(t, 0)
+	best := Inf
+	adjNode, adjEdge := g.AdjNode(), g.AdjEdge()
+	edges := g.Edges()
+	settleOne := func(h *ds.IndexedHeap, dist, other []graph.Weight) graph.Weight {
+		v, dv := h.Pop()
+		lo, hi := g.AdjacencyRange(v)
+		for i := lo; i < hi; i++ {
+			u, eid := adjNode[i], adjEdge[i]
+			nd := dv + edges[eid].W
+			if nd < dist[u] {
+				dist[u] = nd
+				h.PushOrDecrease(u, nd)
+			}
+			if other[u] < Inf && dist[u]+other[u] < best {
+				best = dist[u] + other[u]
+			}
+		}
+		return dv
+	}
+	var radF, radB graph.Weight
+	for hf.Len() > 0 && hb.Len() > 0 {
+		if radF+radB >= best {
+			break
+		}
+		if radF <= radB {
+			radF = settleOne(hf, distF, distB)
+		} else {
+			radB = settleOne(hb, distB, distF)
+		}
+	}
+	return best
+}

@@ -1,0 +1,128 @@
+package sssp
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestIntegralWeights(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 3)
+	b.AddEdge(1, 2, 7)
+	ok, maxW := IntegralWeights(b.Build())
+	if !ok || maxW != 7 {
+		t.Fatalf("integral detection wrong: %v %d", ok, maxW)
+	}
+	b2 := graph.NewBuilder(2)
+	b2.AddEdge(0, 1, 2.5)
+	if ok, _ := IntegralWeights(b2.Build()); ok {
+		t.Fatal("fractional weight accepted")
+	}
+}
+
+func TestDialMatchesDijkstra(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 9}
+	for seed := uint64(0); seed < 10; seed++ {
+		rng := gen.NewRNG(seed)
+		g := gen.GNM(10+rng.Intn(50), 20+rng.Intn(100), cfg, rng)
+		ok, maxW := IntegralWeights(g)
+		if !ok {
+			t.Fatal("generator should produce integral weights")
+		}
+		for src := int32(0); src < int32(g.NumVertices()); src += 5 {
+			want := Dijkstra(g, src, nil)
+			got := Dial(g, src, maxW)
+			for v := range want.Dist {
+				if got.Dist[v] != want.Dist[v] {
+					t.Fatalf("seed %d src %d: Dial dist[%d] = %v, want %v",
+						seed, src, v, got.Dist[v], want.Dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaSteppingMatchesDijkstra(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 12}
+	for seed := uint64(0); seed < 10; seed++ {
+		rng := gen.NewRNG(seed + 50)
+		g := gen.GNM(10+rng.Intn(50), 20+rng.Intn(120), cfg, rng)
+		for _, delta := range []graph.Weight{1, 3, 8, 100} {
+			want := Dijkstra(g, 0, nil)
+			got, rounds := DeltaStepping(g, 0, delta)
+			if rounds <= 0 {
+				t.Fatal("no rounds counted")
+			}
+			for v := range want.Dist {
+				if got.Dist[v] != want.Dist[v] {
+					t.Fatalf("seed %d delta %v: dist[%d] = %v, want %v",
+						seed, delta, v, got.Dist[v], want.Dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaSteppingRoundsTradeoff(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 20}
+	rng := gen.NewRNG(77)
+	g := gen.GNM(300, 900, cfg, rng)
+	_, smallDelta := DeltaStepping(g, 0, 1)
+	_, bigDelta := DeltaStepping(g, 0, 1000)
+	// delta → ∞ degenerates to Bellman-Ford-ish few buckets; delta → 0 to
+	// Dijkstra-ish many buckets. Round counts must reflect that.
+	if bigDelta >= smallDelta {
+		t.Fatalf("expected fewer rounds with huge delta: %d vs %d", bigDelta, smallDelta)
+	}
+}
+
+func TestBiDijkstraMatchesDijkstra(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 10}
+	for seed := uint64(0); seed < 8; seed++ {
+		rng := gen.NewRNG(seed + 9)
+		g := gen.Subdivide(gen.GNM(20+rng.Intn(40), 40+rng.Intn(80), cfg, rng), 0.4, 2, cfg, rng)
+		n := int32(g.NumVertices())
+		for trial := 0; trial < 30; trial++ {
+			s, tt := rng.Int32n(n), rng.Int32n(n)
+			want := Dijkstra(g, s, nil).Dist[tt]
+			got := BiDijkstra(g, s, tt)
+			if got != want {
+				t.Fatalf("seed %d: BiDijkstra(%d,%d) = %v, want %v", seed, s, tt, got, want)
+			}
+		}
+	}
+	// disconnected pair
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	if got := BiDijkstra(b.Build(), 0, 3); got != Inf {
+		t.Fatalf("disconnected BiDijkstra = %v", got)
+	}
+}
+
+func TestBFSMatchesDijkstraUnitWeights(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 1}
+	for seed := uint64(0); seed < 8; seed++ {
+		rng := gen.NewRNG(seed + 70)
+		g := gen.GNM(20+rng.Intn(50), 40+rng.Intn(100), cfg, rng)
+		if !UnitWeights(g) {
+			t.Fatal("generator should emit unit weights at MaxWeight 1")
+		}
+		for src := int32(0); src < int32(g.NumVertices()); src += 4 {
+			want := Dijkstra(g, src, nil)
+			got := BFS(g, src)
+			for v := range want.Dist {
+				if got.Dist[v] != want.Dist[v] {
+					t.Fatalf("seed %d: BFS dist[%d] = %v, want %v", seed, v, got.Dist[v], want.Dist[v])
+				}
+			}
+		}
+	}
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1, 2)
+	if UnitWeights(b.Build()) {
+		t.Fatal("weight-2 graph reported as unit")
+	}
+}

@@ -1,0 +1,146 @@
+// Package sssp implements the single-source shortest path kernels the APSP
+// and MCB engines run per source: classic Dijkstra with an indexed heap
+// (the CPU kernel, Section 2.1.2), a frontier-relaxation kernel in the
+// style of Harish & Narayanan's GPU implementation (the simulated-GPU
+// kernel), and a Bellman–Ford reference used only for verification.
+package sssp
+
+import (
+	"math"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+)
+
+// Inf is the distance reported for unreachable vertices.
+const Inf = math.MaxFloat64
+
+// Result holds a shortest path tree from one source.
+type Result struct {
+	Source int32
+	Dist   []graph.Weight
+	// Parent[v] is v's predecessor on a shortest path, -1 for the source
+	// and unreachable vertices. ParentEdge[v] is the corresponding edge ID.
+	Parent     []int32
+	ParentEdge []int32
+	// Relaxations counts edge relaxation attempts; the heterogeneous
+	// scheduler uses it as the work measure for its virtual clock.
+	Relaxations int64
+}
+
+// Scratch holds the per-goroutine reusable state for repeated Dijkstra runs
+// (one Scratch per worker; runs from different sources reuse it without
+// reallocating).
+type Scratch struct {
+	heap *ds.IndexedHeap
+	n    int
+}
+
+// NewScratch returns scratch space for graphs of at most n vertices.
+func NewScratch(n int) *Scratch {
+	return &Scratch{heap: ds.NewIndexedHeap(n), n: n}
+}
+
+// Dijkstra computes shortest paths from source using a binary heap.
+// The caller may pass a Scratch to amortise allocations; nil allocates.
+func Dijkstra(g *graph.Graph, source int32, sc *Scratch) *Result {
+	n := g.NumVertices()
+	if sc == nil || sc.n < n {
+		sc = NewScratch(n)
+	}
+	res := &Result{
+		Source:     source,
+		Dist:       make([]graph.Weight, n),
+		Parent:     make([]int32, n),
+		ParentEdge: make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		res.Dist[i] = Inf
+		res.Parent[i] = -1
+		res.ParentEdge[i] = -1
+	}
+	h := sc.heap
+	h.Reset()
+	res.Dist[source] = 0
+	h.Push(source, 0)
+	adjNode, adjEdge := g.AdjNode(), g.AdjEdge()
+	edges := g.Edges()
+	for h.Len() > 0 {
+		v, dv := h.Pop()
+		lo, hi := g.AdjacencyRange(v)
+		for i := lo; i < hi; i++ {
+			u, eid := adjNode[i], adjEdge[i]
+			res.Relaxations++
+			nd := dv + edges[eid].W
+			if nd < res.Dist[u] {
+				res.Dist[u] = nd
+				res.Parent[u] = v
+				res.ParentEdge[u] = eid
+				h.PushOrDecrease(u, nd)
+			}
+		}
+	}
+	return res
+}
+
+// DistancesOnly runs Dijkstra writing distances into dist (len ≥ n),
+// skipping tree bookkeeping — the hot path of the APSP processing phase.
+// It returns the relaxation count.
+func DistancesOnly(g *graph.Graph, source int32, dist []graph.Weight, sc *Scratch) int64 {
+	n := g.NumVertices()
+	if sc == nil || sc.n < n {
+		sc = NewScratch(n)
+	}
+	for i := 0; i < n; i++ {
+		dist[i] = Inf
+	}
+	h := sc.heap
+	h.Reset()
+	dist[source] = 0
+	h.Push(source, 0)
+	adjNode, adjEdge := g.AdjNode(), g.AdjEdge()
+	edges := g.Edges()
+	var relax int64
+	for h.Len() > 0 {
+		v, dv := h.Pop()
+		lo, hi := g.AdjacencyRange(v)
+		for i := lo; i < hi; i++ {
+			u := adjNode[i]
+			relax++
+			nd := dv + edges[adjEdge[i]].W
+			if nd < dist[u] {
+				dist[u] = nd
+				h.PushOrDecrease(u, nd)
+			}
+		}
+	}
+	return relax
+}
+
+// BellmanFord is the O(nm) reference implementation used by tests to
+// validate every other shortest-path kernel.
+func BellmanFord(g *graph.Graph, source int32) []graph.Weight {
+	n := g.NumVertices()
+	dist := make([]graph.Weight, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[source] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, e := range g.Edges() {
+			if dist[e.U] != Inf && dist[e.U]+e.W < dist[e.V] {
+				dist[e.V] = dist[e.U] + e.W
+				changed = true
+			}
+			if dist[e.V] != Inf && dist[e.V]+e.W < dist[e.U] {
+				dist[e.U] = dist[e.V] + e.W
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}

@@ -1,0 +1,107 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/apsp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mcb"
+	"repro/internal/sssp"
+)
+
+func TestDistancesAcceptsCorrect(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 8}
+	rng := gen.NewRNG(1)
+	g := gen.GNM(40, 90, cfg, rng)
+	res := sssp.Dijkstra(g, 5, nil)
+	if err := Distances(g, 5, res.Dist); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistancesRejectsWrong(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 8}
+	rng := gen.NewRNG(2)
+	g := gen.GNM(30, 60, cfg, rng)
+	res := sssp.Dijkstra(g, 0, nil)
+	// too small somewhere: breaks tightness or triangle
+	bad := append([]graph.Weight(nil), res.Dist...)
+	bad[10] /= 2
+	if bad[10] != res.Dist[10] {
+		if err := Distances(g, 0, bad); err == nil {
+			t.Fatal("undershoot accepted")
+		}
+	}
+	// too big somewhere: breaks triangle inequality
+	bad2 := append([]graph.Weight(nil), res.Dist...)
+	bad2[10] += 1000
+	if err := Distances(g, 0, bad2); err == nil {
+		t.Fatal("overshoot accepted")
+	}
+	// wrong source value
+	bad3 := append([]graph.Weight(nil), res.Dist...)
+	bad3[0] = 1
+	if err := Distances(g, 0, bad3); err == nil {
+		t.Fatal("nonzero source accepted")
+	}
+}
+
+func TestOracleSample(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 5}
+	rng := gen.NewRNG(3)
+	g := gen.Subdivide(gen.GNM(20, 35, cfg, rng), 0.5, 2, cfg, rng)
+	o := apsp.NewOracle(g)
+	if err := OracleSample(g, o, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(2, 3, 4)
+	g := b.Build()
+	if err := Walk(g, []int32{0, 1, 2, 3}, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := Walk(g, []int32{0, 2}, 5); err == nil {
+		t.Fatal("non-edge hop accepted")
+	}
+	if err := Walk(g, []int32{0, 1}, 99); err == nil {
+		t.Fatal("wrong weight accepted")
+	}
+	if err := Walk(g, nil, 0); err == nil {
+		t.Fatal("empty walk accepted")
+	}
+}
+
+func TestCycleBasis(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 7}
+	rng := gen.NewRNG(4)
+	g := gen.GNM(15, 25, cfg, rng)
+	res := mcb.Compute(g, mcb.Options{UseEar: true})
+	if err := CycleBasis(g, res); err != nil {
+		t.Fatal(err)
+	}
+	// tamper: drop a cycle
+	broken := *res
+	broken.Cycles = broken.Cycles[:len(broken.Cycles)-1]
+	if err := CycleBasis(g, &broken); err == nil {
+		t.Fatal("short basis accepted")
+	}
+	// tamper: duplicate a cycle (dependent)
+	dup := *res
+	dup.Cycles = append(append([]mcb.Cycle(nil), res.Cycles[:len(res.Cycles)-1]...), res.Cycles[0])
+	if err := CycleBasis(g, &dup); err == nil {
+		t.Fatal("dependent basis accepted")
+	}
+	// tamper: break a weight
+	wrongW := *res
+	wrongW.Cycles = append([]mcb.Cycle(nil), res.Cycles...)
+	wrongW.Cycles[0].Weight += 1
+	if err := CycleBasis(g, &wrongW); err == nil {
+		t.Fatal("wrong cycle weight accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Package repro is an open-source reproduction of
+//
+//	Dutta, Chaitanya, Kothapalli, Bera:
+//	"Applications of Ear Decomposition to Efficient Heterogeneous
+//	Algorithms for Shortest Path/Cycle Problems" (IJNC 8(1), 2018 /
+//	IPPS 2017).
+//
+// It provides ear-decomposition-accelerated all-pairs shortest paths and
+// minimum weight cycle basis computation for large sparse graphs, the
+// comparison baselines the paper evaluates against, and the harness that
+// regenerates every table and figure of the paper's evaluation (see
+// cmd/earbench).
+//
+// This file is the public facade: it re-exports the library's stable
+// surface so downstream users can depend on `repro` alone. The type
+// aliases point into internal packages, which keeps the implementation
+// free to evolve while the facade stays fixed.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/apsp"
+	"repro/internal/bc"
+	"repro/internal/core"
+	"repro/internal/ear"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+	"repro/internal/mcb"
+	"repro/internal/verify"
+)
+
+// Graph construction and I/O.
+type (
+	// Graph is an immutable weighted undirected multigraph in CSR form.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges before freezing them into a Graph.
+	GraphBuilder = graph.Builder
+	// Edge is one undirected edge.
+	Edge = graph.Edge
+	// Weight is the edge weight type.
+	Weight = graph.Weight
+)
+
+// NewGraphBuilder returns a builder for a graph on n vertices 0..n-1.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// LoadGraph reads a graph file (.mtx MatrixMarket, .gr/.dimacs DIMACS, or
+// plain "u v w" edge list).
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// Ear decomposition.
+type (
+	// EarDecompositionEar is one ear (path) of an ear decomposition.
+	EarDecompositionEar = ear.Ear
+	// ReducedGraph is a graph with its degree-2 chains contracted plus the
+	// anchor tables needed to answer queries about removed vertices.
+	ReducedGraph = ear.Reduced
+)
+
+// EarDecompose returns the ears of a biconnected graph.
+func EarDecompose(g *Graph) ([]EarDecompositionEar, error) { return core.EarDecomposition(g) }
+
+// ReduceGraph contracts all maximal degree-2 chains of g (APSP mode).
+func ReduceGraph(g *Graph) (*ReducedGraph, error) { return core.Reduce(g) }
+
+// All-pairs shortest paths.
+type (
+	// APSPOracle answers distance queries in O(1) after the
+	// ear-decomposition pipeline, storing O(a² + Σ nᵢ²) entries.
+	APSPOracle = apsp.Oracle
+)
+
+// ShortestPaths builds the APSP oracle with the given parallelism
+// (0 = GOMAXPROCS).
+func ShortestPaths(g *Graph, workers int) (*APSPOracle, error) {
+	return core.ShortestPaths(g, workers)
+}
+
+// Minimum cycle basis.
+type (
+	// MCBResult holds a minimum weight cycle basis and its accounting.
+	MCBResult = mcb.Result
+	// MCBOptions configures platform, parallelism and ablations.
+	MCBOptions = mcb.Options
+	// MCBCycle is one basis element.
+	MCBCycle = mcb.Cycle
+)
+
+// MinimumCycleBasis computes an MCB with the ear reduction enabled.
+func MinimumCycleBasis(g *Graph) (*MCBResult, error) { return core.MinimumCycleBasis(g) }
+
+// MinimumCycleBasisOpts computes an MCB with explicit options.
+func MinimumCycleBasisOpts(g *Graph, opts MCBOptions) (*MCBResult, error) {
+	return core.MinimumCycleBasisOpts(g, opts)
+}
+
+// Generators (for experimentation and tests).
+type (
+	// RNG is the deterministic generator used by all graph generators.
+	RNG = gen.RNG
+	// GenConfig carries generator weight settings.
+	GenConfig = gen.Config
+)
+
+// NewRNG returns a deterministic random generator.
+func NewRNG(seed uint64) *RNG { return gen.NewRNG(seed) }
+
+// Betweenness centrality (the companion path-based application).
+type (
+	// BCResult holds betweenness centrality scores.
+	BCResult = bc.Result
+)
+
+// BetweennessCentrality computes exact weighted betweenness centrality
+// with the given parallelism (0 = GOMAXPROCS).
+func BetweennessCentrality(g *Graph, workers int) *BCResult {
+	if workers <= 0 {
+		workers = hetero.Workers()
+	}
+	return bc.Parallel(g, workers)
+}
+
+// Verification certificates.
+
+// VerifyDistances certifies a single-source distance vector against g.
+func VerifyDistances(g *Graph, source int32, dist []Weight) error {
+	return verify.Distances(g, source, dist)
+}
+
+// VerifyPath certifies that walk is a walk in g of exactly the given
+// weight.
+func VerifyPath(g *Graph, walk []int32, weight Weight) error {
+	return verify.Walk(g, walk, weight)
+}
+
+// VerifyCycleBasis certifies structure and independence of an MCB result.
+func VerifyCycleBasis(g *Graph, res *MCBResult) error {
+	return verify.CycleBasis(g, res)
+}
+
+// WriteDOT renders the graph in Graphviz format.
+func WriteDOT(w io.Writer, g *Graph, showWeights bool) error {
+	return graph.WriteDOT(w, g, graph.DOTOptions{ShowWeights: showWeights})
+}

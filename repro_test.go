@@ -1,0 +1,152 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mcb"
+)
+
+// TestFacadeEndToEnd exercises the public surface the README documents:
+// build, reduce, query, and basis computation through the facade only.
+func TestFacadeEndToEnd(t *testing.T) {
+	b := NewGraphBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 3, 3)
+	b.AddEdge(3, 0, 4)
+	b.AddEdge(0, 4, 1)
+	b.AddEdge(4, 2, 1)
+	b.AddEdge(3, 5, 9) // pendant
+	g := b.Build()
+
+	red, err := ReduceGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumRemoved() == 0 {
+		t.Fatal("expected degree-2 removals")
+	}
+
+	oracle, err := ShortestPaths(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := oracle.Query(1, 5); d != 1+1+1+3+9 && d != 2+3+9 && d <= 0 {
+		t.Fatalf("query result suspicious: %v", d)
+	}
+	// spot-check against a hand computation: d(1,5) = min path weight
+	if d := oracle.Query(5, 5); d != 0 {
+		t.Fatal("self distance nonzero")
+	}
+
+	basis, err := MinimumCycleBasis(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(basis.Cycles) != 2 { // m-n+1 = 7-6+1 = 2
+		t.Fatalf("basis size %d", len(basis.Cycles))
+	}
+
+	opts := MCBOptions{UseEar: false, Platform: mcb.GPU}
+	basis2, err := MinimumCycleBasisOpts(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basis2.TotalWeight != basis.TotalWeight {
+		t.Fatalf("facade options changed the MCB weight: %v vs %v",
+			basis2.TotalWeight, basis.TotalWeight)
+	}
+}
+
+func TestFacadeEarDecompose(t *testing.T) {
+	rng := NewRNG(4)
+	g := gen.Ring(8, GenConfig{MaxWeight: 3}, rng)
+	ears, err := EarDecompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ears) != 1 {
+		t.Fatalf("ring should be one ear, got %d", len(ears))
+	}
+}
+
+func TestFacadeNilGraphErrors(t *testing.T) {
+	if _, err := ShortestPaths(nil, 1); err == nil {
+		t.Fatal("nil graph should error")
+	}
+	if _, err := MinimumCycleBasis(nil); err == nil {
+		t.Fatal("nil graph should error")
+	}
+	if _, err := ReduceGraph(nil); err == nil {
+		t.Fatal("nil graph should error")
+	}
+	if _, err := EarDecompose(nil); err == nil {
+		t.Fatal("nil graph should error")
+	}
+}
+
+func TestLoadGraphRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 1 2\n1 2 3\n2 0 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatal("load wrong")
+	}
+}
+
+func TestFacadeBCAndVerifiers(t *testing.T) {
+	rng := NewRNG(9)
+	cfg := GenConfig{MaxWeight: 4}
+	g := gen.Subdivide(gen.GNM(20, 32, cfg, rng), 0.4, 2, cfg, rng)
+
+	res := BetweennessCentrality(g, 0)
+	if len(res.Scores) != g.NumVertices() {
+		t.Fatal("bc scores length")
+	}
+
+	oracle, err := ShortestPaths(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// verify a distance row assembled from oracle queries
+	dist := make([]Weight, g.NumVertices())
+	for v := range dist {
+		dist[v] = oracle.Query(0, int32(v))
+	}
+	if err := VerifyDistances(g, 0, dist); err != nil {
+		t.Fatal(err)
+	}
+	// verify a path
+	w := oracle.Path(0, int32(g.NumVertices()-1))
+	if w != nil {
+		if err := VerifyPath(g, w, oracle.Query(0, int32(g.NumVertices()-1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	basis, err := MinimumCycleBasis(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCycleBasis(g, basis); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph G {") {
+		t.Fatal("dot output wrong")
+	}
+}
