@@ -1,0 +1,35 @@
+package apsp
+
+import "repro/internal/graph"
+
+// Dense wraps a row-major n×n distance table as a query oracle, giving the
+// full-table algorithms (FloydWarshall, Naive, Materialize outputs) the same
+// Query interface as the structured oracles so that verification harnesses
+// and benchmarks can treat every implementation uniformly.
+type Dense struct {
+	N     int
+	Table []graph.Weight
+}
+
+// NewDense wraps an existing table; it panics if the length is not N².
+func NewDense(n int, table []graph.Weight) *Dense {
+	if len(table) != n*n {
+		panic("apsp: dense table size mismatch")
+	}
+	return &Dense{N: n, Table: table}
+}
+
+// NewFloydWarshall computes the table with FloydWarshall and wraps it.
+func NewFloydWarshall(g *graph.Graph) *Dense {
+	return NewDense(g.NumVertices(), FloydWarshall(g))
+}
+
+// Query returns the tabulated distance.
+func (d *Dense) Query(u, v int32) graph.Weight { return d.Table[int(u)*d.N+int(v)] }
+
+// Row copies the distances from u into out and returns the operation count,
+// matching the EarAPSP/Djidjev Row contract.
+func (d *Dense) Row(u int32, out []graph.Weight) int64 {
+	copy(out, d.Table[int(u)*d.N:(int(u)+1)*d.N])
+	return int64(d.N)
+}

@@ -1,0 +1,125 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/apsp"
+	"repro/internal/graph"
+)
+
+// Divergence reports the first disagreement found between an implementation
+// and the reference, together with a minimised witness subgraph that still
+// reproduces it.
+type Divergence struct {
+	Impl string
+	// U, V is the first divergent pair on the input graph; Got is the
+	// implementation's answer, Want the reference's.
+	U, V      int32
+	Got, Want graph.Weight
+	// Witness is a locally edge-minimal subgraph (isolated vertices
+	// compacted away) on which Impl still disagrees with the reference, at
+	// pair (WitnessU, WitnessV) with values WitnessGot/WitnessWant. Nil when
+	// minimisation was disabled or the failure did not reproduce during
+	// shrinking (e.g. a non-deterministic bug).
+	Witness                 *graph.Graph
+	WitnessU, WitnessV      int32
+	WitnessGot, WitnessWant graph.Weight
+}
+
+// Error formats the divergence; Divergence implements error so checkers can
+// be dropped into any test.
+func (d *Divergence) Error() string {
+	s := fmt.Sprintf("check: %s: d(%d,%d) = %v, reference %v", d.Impl, d.U, d.V, d.Got, d.Want)
+	if d.Witness != nil {
+		s += fmt.Sprintf(" [witness: %d vertices, %d edges, pair (%d,%d) %v vs %v]",
+			d.Witness.NumVertices(), d.Witness.NumEdges(),
+			d.WitnessU, d.WitnessV, d.WitnessGot, d.WitnessWant)
+	}
+	return s
+}
+
+// firstDivergence compares o against the reference table ref (n×n,
+// row-major) over every ordered pair and returns the first mismatch.
+func firstDivergence(o Oracle, ref []graph.Weight, n int) (u, v int32, got, want graph.Weight, ok bool) {
+	for s := 0; s < n; s++ {
+		row := ref[s*n : (s+1)*n]
+		for t := 0; t < n; t++ {
+			if g := o.Query(int32(s), int32(t)); g != row[t] {
+				return int32(s), int32(t), g, row[t], true
+			}
+		}
+	}
+	return 0, 0, 0, 0, false
+}
+
+// APSP differentially tests every registered implementation on g against
+// the Floyd–Warshall reference and returns the first divergence with a
+// minimised witness, or nil if all implementations agree on all pairs.
+func APSP(g *graph.Graph) *Divergence {
+	return APSPAgainst(g, APSPImpls(), true)
+}
+
+// APSPAgainst runs the differential comparison with an explicit
+// implementation list; minimise controls whether a failing case is shrunk.
+func APSPAgainst(g *graph.Graph, impls []Impl, minimise bool) *Divergence {
+	n := g.NumVertices()
+	ref := apsp.FloydWarshall(g)
+	connected := graph.CountComponents(g) <= 1
+	for _, impl := range impls {
+		if impl.NeedsConnected && !connected {
+			continue
+		}
+		o := impl.Build(g)
+		u, v, got, want, bad := firstDivergence(o, ref, n)
+		if !bad {
+			continue
+		}
+		d := &Divergence{Impl: impl.Name, U: u, V: v, Got: got, Want: want}
+		if minimise {
+			d.minimise(g, impl)
+		}
+		return d
+	}
+	return nil
+}
+
+// implDisagrees rebuilds impl on candidate h and reports whether it still
+// disagrees with the reference anywhere. Candidates that violate the
+// implementation's connectivity contract are treated as non-failing so the
+// minimiser never leaves the valid input domain.
+func implDisagrees(impl Impl, h *graph.Graph) (u, v int32, got, want graph.Weight, ok bool) {
+	if impl.NeedsConnected && graph.CountComponents(h) > 1 {
+		return 0, 0, 0, 0, false
+	}
+	ref := apsp.FloydWarshall(h)
+	return firstDivergence(impl.Build(h), ref, h.NumVertices())
+}
+
+// minimise shrinks g to a locally edge-minimal witness for impl's
+// disagreement and compacts isolated vertices away.
+func (d *Divergence) minimise(g *graph.Graph, impl Impl) {
+	fails := func(edges []graph.Edge) bool {
+		h := graph.FromEdges(g.NumVertices(), edges)
+		_, _, _, _, bad := implDisagrees(impl, h)
+		return bad
+	}
+	kept := MinimizeEdges(g.Edges(), fails)
+	if kept == nil {
+		return
+	}
+	h := graph.FromEdges(g.NumVertices(), kept)
+	u, v, got, want, bad := implDisagrees(impl, h)
+	if !bad {
+		return
+	}
+	w, _ := CompactVertices(h, u, v)
+	wu, wv, wgot, wwant, wbad := implDisagrees(impl, w)
+	if !wbad {
+		// compaction relabels vertices; if the relabelled graph no longer
+		// reproduces (it should — relabelling is an isomorphism — but stay
+		// defensive), fall back to the uncompacted witness.
+		d.Witness, d.WitnessU, d.WitnessV, d.WitnessGot, d.WitnessWant = h, u, v, got, want
+		return
+	}
+	d.Witness, d.WitnessU, d.WitnessV, d.WitnessGot, d.WitnessWant = w, wu, wv, wgot, wwant
+}

@@ -1,0 +1,45 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bc"
+	"repro/internal/graph"
+)
+
+// BCTolerance is the default relative/absolute tolerance for comparing
+// betweenness scores. The two algorithms accumulate floating-point
+// dependencies in different orders (and the decomposed variant adds
+// closed-form articulation corrections), so exact equality is not expected;
+// anything beyond rounding noise is a real divergence.
+const BCTolerance = 1e-9
+
+// BC differentially tests betweenness centrality on g: the decomposed
+// algorithm (per-block weighted Brandes plus articulation corrections) must
+// match plain Brandes on every vertex within tol (≤ 0 selects BCTolerance).
+// It returns nil on agreement, or an error naming the first divergent
+// vertex.
+func BC(g *graph.Graph, tol float64) error {
+	if tol <= 0 {
+		tol = BCTolerance
+	}
+	exact := bc.Parallel(g, 2)
+	dec := bc.Decomposed(g, 2)
+	for v := range exact.Scores {
+		a, b := exact.Scores[v], dec.Scores[v]
+		if !withinTol(a, b, tol) {
+			return fmt.Errorf("check: bc diverges at vertex %d: brandes %v, decomposed %v", v, a, b)
+		}
+	}
+	return nil
+}
+
+func withinTol(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}

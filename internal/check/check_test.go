@@ -1,0 +1,164 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The differential harness's own acceptance bar: ≥ 50 seeded random graphs
+// per run for each of APSP, MCB, and BC, plus the fixed pathological
+// corpus. Sizes are kept small enough that the O(n³) Floyd–Warshall
+// reference and the all-roots Horton oracle stay cheap.
+
+func TestDifferentialAPSPRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		g := RandomGraph(seed, 20)
+		if d := APSP(g); d != nil {
+			t.Fatalf("seed %d (n=%d m=%d): %v", seed, g.NumVertices(), g.NumEdges(), d)
+		}
+	}
+}
+
+func TestDifferentialAPSPCorpus(t *testing.T) {
+	for _, ng := range Corpus() {
+		if d := APSP(ng.G); d != nil {
+			t.Fatalf("%s: %v", ng.Name, d)
+		}
+	}
+}
+
+func TestDifferentialMCBRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		g := RandomGraph(seed, 14)
+		if err := MCB(g, seed); err != nil {
+			t.Fatalf("seed %d (n=%d m=%d): %v", seed, g.NumVertices(), g.NumEdges(), err)
+		}
+	}
+}
+
+func TestDifferentialMCBCorpus(t *testing.T) {
+	for _, ng := range Corpus() {
+		if err := MCB(ng.G, 7); err != nil {
+			t.Fatalf("%s: %v", ng.Name, err)
+		}
+	}
+}
+
+func TestDifferentialBCRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		g := RandomGraph(seed, 24)
+		if err := BC(g, 0); err != nil {
+			t.Fatalf("seed %d (n=%d m=%d): %v", seed, g.NumVertices(), g.NumEdges(), err)
+		}
+	}
+}
+
+func TestDifferentialBCCorpus(t *testing.T) {
+	for _, ng := range Corpus() {
+		if err := BC(ng.G, 0); err != nil {
+			t.Fatalf("%s: %v", ng.Name, err)
+		}
+	}
+}
+
+func TestInvariantsRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		g := RandomGraph(seed, 20)
+		if err := EarInvariants(g); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := BCCInvariants(g); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestInvariantsCorpus(t *testing.T) {
+	for _, ng := range Corpus() {
+		if err := EarInvariants(ng.G); err != nil {
+			t.Fatalf("%s: %v", ng.Name, err)
+		}
+		if err := BCCInvariants(ng.G); err != nil {
+			t.Fatalf("%s: %v", ng.Name, err)
+		}
+	}
+}
+
+func TestDecodeGraphTotal(t *testing.T) {
+	// Every byte string decodes to a well-formed graph within bounds.
+	inputs := [][]byte{
+		nil,
+		{0},
+		{255},
+		{7, 1, 2},
+		{13, 0, 0, 0, 1, 1, 1, 200, 200, 200},
+	}
+	for _, in := range inputs {
+		g := DecodeGraph(in, 16, 32)
+		if g.NumVertices() > 16 || g.NumEdges() > 32 {
+			t.Fatalf("decode out of bounds: n=%d m=%d", g.NumVertices(), g.NumEdges())
+		}
+		for _, e := range g.Edges() {
+			if e.U < 0 || int(e.U) >= g.NumVertices() || e.V < 0 || int(e.V) >= g.NumVertices() {
+				t.Fatalf("decode produced out-of-range edge %+v", e)
+			}
+			if e.W < 1 || e.W > 9 {
+				t.Fatalf("decode produced weight %v outside [1,9]", e.W)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, ng := range Corpus() {
+		data, err := EncodeGraph(ng.G, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", ng.Name, err)
+		}
+		h := DecodeGraph(data, 64, ng.G.NumEdges())
+		if h.NumVertices() != ng.G.NumVertices() || h.NumEdges() != ng.G.NumEdges() {
+			t.Fatalf("%s: round trip n=%d m=%d, want n=%d m=%d",
+				ng.Name, h.NumVertices(), h.NumEdges(), ng.G.NumVertices(), ng.G.NumEdges())
+		}
+		for i, e := range h.Edges() {
+			o := ng.G.Edge(int32(i))
+			if e.U != o.U || e.V != o.V {
+				t.Fatalf("%s: edge %d endpoints changed: %+v vs %+v", ng.Name, i, e, o)
+			}
+		}
+	}
+}
+
+func TestRandomGraphDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		a := RandomGraph(seed, 20)
+		b := RandomGraph(seed, 20)
+		if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("seed %d not deterministic", seed)
+		}
+		for i := range a.Edges() {
+			if a.Edge(int32(i)) != b.Edge(int32(i)) {
+				t.Fatalf("seed %d edge %d differs", seed, i)
+			}
+		}
+	}
+}
+
+func TestCompactVertices(t *testing.T) {
+	// vertices 0,2 used; 1,3 isolated; pin 3
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 2, W: 1}})
+	w, remap := CompactVertices(g, 3)
+	if w.NumVertices() != 3 {
+		t.Fatalf("got %d vertices, want 3", w.NumVertices())
+	}
+	if remap[1] != -1 {
+		t.Fatalf("vertex 1 should be dropped, remap %d", remap[1])
+	}
+	if remap[3] < 0 {
+		t.Fatal("pinned vertex 3 was dropped")
+	}
+	if e := w.Edge(0); e.U != remap[0] || e.V != remap[2] {
+		t.Fatalf("edge endpoints not remapped: %+v", e)
+	}
+}

@@ -1,0 +1,82 @@
+package check
+
+import (
+	"testing"
+)
+
+// Native Go fuzz targets over the differential harness. DecodeGraph makes
+// the input mapping total, so the fuzzer explores topology space directly:
+// every mutation is a graph, and pathological seed structures (theta
+// graphs, necklaces, bridge chains, self-anchored ears, multigraphs) give
+// the mutator productive starting points.
+//
+// Run locally with e.g.
+//
+//	go test ./internal/check -run='^$' -fuzz=FuzzAPSPEquivalence -fuzztime=30s
+
+// fuzzSeeds encodes the pathological corpus plus a few raw byte shapes.
+func fuzzSeeds(f *testing.F, maxN int) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{5, 0, 1, 3, 1, 1, 7}) // parallel edge + self-loop fragment
+	for _, ng := range Corpus() {
+		if data, err := EncodeGraph(ng.G, maxN); err == nil {
+			f.Add(data)
+		}
+	}
+}
+
+// FuzzAPSPEquivalence checks that every APSP implementation agrees with the
+// Floyd–Warshall reference on arbitrary fuzzer-shaped graphs, and that the
+// structural invariants of the ear and BCC decompositions hold on them.
+func FuzzAPSPEquivalence(f *testing.F) {
+	fuzzSeeds(f, 24)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := DecodeGraph(data, 24, 64)
+		if g.NumVertices() == 0 {
+			return
+		}
+		if err := EarInvariants(g); err != nil {
+			t.Fatalf("ear invariants: %v", err)
+		}
+		if err := BCCInvariants(g); err != nil {
+			t.Fatalf("bcc invariants: %v", err)
+		}
+		// Skip witness minimisation inside the fuzz loop: the fuzzer itself
+		// minimises crashing inputs, and the harness minimiser would slow
+		// the exploration loop down.
+		if d := APSPAgainst(g, APSPImpls(), false); d != nil {
+			t.Fatalf("apsp divergence: %v", d)
+		}
+	})
+}
+
+// FuzzMCBEquivalence cross-checks De Pina (with and without ear reduction)
+// against brute-force Horton on fuzzer-shaped multigraphs. Sizes are kept
+// small — Horton roots every vertex, so cost grows fast.
+func FuzzMCBEquivalence(f *testing.F) {
+	fuzzSeeds(f, 12)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := DecodeGraph(data, 12, 28)
+		if g.NumVertices() == 0 {
+			return
+		}
+		if err := MCB(g, 1); err != nil {
+			t.Fatalf("mcb divergence: %v", err)
+		}
+	})
+}
+
+// FuzzBCEquivalence compares decomposed betweenness against plain Brandes.
+func FuzzBCEquivalence(f *testing.F) {
+	fuzzSeeds(f, 20)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := DecodeGraph(data, 20, 48)
+		if g.NumVertices() == 0 {
+			return
+		}
+		if err := BC(g, 0); err != nil {
+			t.Fatalf("bc divergence: %v", err)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// RandomGraph derives a deterministic test graph from seed, cycling through
+// the generator families and then layering the structural transforms that
+// produce the paper's hard cases: degree-2 chain injection (Subdivide),
+// pendant trees (AttachPendants), and multi-block composition
+// (ChainBlocks). maxN bounds the base graph size before transforms.
+func RandomGraph(seed uint64, maxN int) *graph.Graph {
+	if maxN < 6 {
+		maxN = 6
+	}
+	rng := gen.NewRNG(seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
+	cfg := gen.Config{MaxWeight: 1 + rng.Intn(9)}
+	n := 4 + rng.Intn(maxN-3)
+	var g *graph.Graph
+	switch rng.Intn(5) {
+	case 0:
+		g = gen.GNM(n, n-1+rng.Intn(2*n), cfg, rng) // sparse to medium
+	case 1:
+		g = gen.GNM(n, n*(n-1)/4+1, cfg, rng) // dense
+	case 2:
+		g = gen.PreferentialAttachment(n, 1+rng.Intn(3), cfg, rng)
+	case 3:
+		g = gen.Multigraph(n, n+rng.Intn(n), 1+rng.Intn(4), rng.Intn(3), cfg, rng)
+	default:
+		// composed blocks: small pathological blocks chained at articulation
+		// points, the worst case for cross-block stitching.
+		blocks := []*graph.Graph{
+			gen.Theta([]int{0, 1 + rng.Intn(3), 2}, cfg, rng),
+			gen.GNM(3+rng.Intn(6), 4+rng.Intn(6), cfg, rng),
+			gen.LoopFlower(1+rng.Intn(3), 2+rng.Intn(3), cfg, rng),
+		}
+		g = gen.ChainBlocks(blocks, cfg, rng)
+	}
+	// Subdivision multiplies the vertex count by up to the mean chain
+	// length; skip it for edge-heavy bases so maxN stays a meaningful bound
+	// on the cost of the O(n³) reference runs downstream.
+	if rng.Float64() < 0.6 && g.NumEdges() <= 2*maxN {
+		g = gen.Subdivide(g, 0.3+0.4*rng.Float64(), 1+rng.Intn(3), cfg, rng)
+	}
+	if rng.Float64() < 0.5 {
+		g = gen.AttachPendants(g, 1+rng.Intn(5), 1+rng.Intn(3), cfg, rng)
+	}
+	return g
+}
+
+// NamedGraph pairs a corpus graph with the topology it exercises.
+type NamedGraph struct {
+	Name string
+	G    *graph.Graph
+}
+
+// Corpus returns the fixed pathological topologies every differential test
+// runs in addition to its random graphs: the reassembly corner cases
+// (parallel chains, bridges, self-anchored ears, multigraphs) where
+// decomposition algorithms historically fail.
+func Corpus() []NamedGraph {
+	cfg := gen.Config{MaxWeight: 7}
+	rng := gen.NewRNG(0xc0ffee)
+	out := []NamedGraph{
+		{"theta", gen.Theta([]int{2, 3, 4}, cfg, rng)},
+		{"theta-parallel", gen.Theta([]int{0, 0, 1, 2}, cfg, rng)},
+		{"necklace", gen.CycleNecklace(4, 4, cfg, rng)},
+		{"necklace-tight", gen.CycleNecklace(3, 2, cfg, rng)},
+		{"bridge-chain", gen.BridgeChain(4, 4, cfg, rng)},
+		{"loop-flower", gen.LoopFlower(3, 3, cfg, rng)},
+		{"multigraph", gen.Multigraph(8, 14, 4, 2, cfg, rng)},
+		{"single-cycle", gen.Theta([]int{4}, cfg, rng)},
+		{"two-vertices-parallel", gen.Theta([]int{0, 0, 0}, cfg, rng)},
+	}
+	// cycles-of-cycles at two scales composed behind a bridge
+	coc := gen.ChainBlocks([]*graph.Graph{
+		gen.CycleNecklace(3, 3, cfg, rng),
+		gen.CycleNecklace(5, 3, cfg, rng),
+	}, cfg, rng)
+	out = append(out, NamedGraph{"cycles-of-cycles", coc})
+	return out
+}
+
+// DecodeGraph maps arbitrary bytes (a fuzzer's input) onto a valid bounded
+// graph: byte 0 picks the vertex count in [2, maxN], then each 3-byte group
+// encodes one edge (endpoints mod n, small integral weight so path sums
+// stay exact). Self-loops and parallel edges are produced naturally; at
+// most maxM edges are read. The mapping is total — every byte string is a
+// graph — which is what lets the fuzzer explore topology space freely.
+func DecodeGraph(data []byte, maxN, maxM int) *graph.Graph {
+	if maxN < 2 {
+		maxN = 2
+	}
+	if len(data) == 0 {
+		return graph.FromEdges(0, nil)
+	}
+	n := 2 + int(data[0])%(maxN-1)
+	var edges []graph.Edge
+	for i := 1; i+2 < len(data) && len(edges) < maxM; i += 3 {
+		u := int32(int(data[i]) % n)
+		v := int32(int(data[i+1]) % n)
+		w := graph.Weight(1 + int(data[i+2])%9)
+		edges = append(edges, graph.Edge{U: u, V: v, W: w})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// EncodeGraph is DecodeGraph's inverse for seeding fuzz corpora from the
+// pathological topologies: it produces bytes that decode back to a graph
+// isomorphic to g (weights folded into [1,9]). It refuses graphs that do
+// not fit the encoding's bounds.
+func EncodeGraph(g *graph.Graph, maxN int) ([]byte, error) {
+	n := g.NumVertices()
+	if n < 2 || n > maxN || n > 257 {
+		return nil, fmt.Errorf("check: graph with %d vertices does not fit encoding (max %d)", n, maxN)
+	}
+	out := []byte{byte(n - 2)}
+	for _, e := range g.Edges() {
+		w := int(e.W)
+		if w < 1 {
+			w = 1
+		}
+		out = append(out, byte(e.U), byte(e.V), byte((w-1)%9))
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mcb"
+	"repro/internal/verify"
+)
+
+// MCB differentially tests the minimum-cycle-basis pipeline on g:
+//
+//   - De Pina on the ear-reduced graph (the paper's algorithm, Lemma 3.1),
+//   - De Pina without ear reduction (the ablation arm), and
+//   - brute-force Horton on G (the independent historical oracle)
+//
+// must all produce structurally valid bases of dimension m − n + k with the
+// same (unique) total weight, certified through verify.CycleBasisMatches.
+// It returns nil when all three agree.
+//
+// g must have integral edge weights: the engines' tie-breaking perturbation
+// stays below 0.5 per cycle, which only guarantees minimality under the
+// original weights when those are integers — exactly what every generator
+// in this package produces.
+func MCB(g *graph.Graph, seed uint64) error {
+	if seed == 0 {
+		seed = 1
+	}
+	want := mcb.Dim(g)
+	depinaEar := mcb.Compute(g, mcb.Options{UseEar: true, Seed: seed})
+	depina := mcb.Compute(g, mcb.Options{UseEar: false, Seed: seed})
+	horton := mcb.HortonMCB(g, false, seed)
+	if depinaEar.Dim != want {
+		return fmt.Errorf("check: depina+ear dim %d, want m-n+k = %d", depinaEar.Dim, want)
+	}
+	if err := verify.CycleBasisMatches(g, depinaEar, horton); err != nil {
+		return fmt.Errorf("check: depina+ear vs horton: %w", err)
+	}
+	if err := verify.CycleBasisMatches(g, depinaEar, depina); err != nil {
+		return fmt.Errorf("check: depina+ear vs depina: %w", err)
+	}
+	return nil
+}
+
+// MCBWitness runs MCB and, on failure, shrinks g to a locally edge-minimal
+// subgraph on which the comparison still fails. It returns the witness (nil
+// if the failure did not reproduce while shrinking) and the original error.
+func MCBWitness(g *graph.Graph, seed uint64) (*graph.Graph, error) {
+	err := MCB(g, seed)
+	if err == nil {
+		return nil, nil
+	}
+	kept := MinimizeEdges(g.Edges(), func(edges []graph.Edge) bool {
+		return MCB(graph.FromEdges(g.NumVertices(), edges), seed) != nil
+	})
+	if kept == nil {
+		return nil, err
+	}
+	w, _ := CompactVertices(graph.FromEdges(g.NumVertices(), kept))
+	if MCB(w, seed) == nil {
+		return nil, err
+	}
+	return w, err
+}

@@ -1,0 +1,87 @@
+package check
+
+import "repro/internal/graph"
+
+// MinimizeEdges shrinks an edge list to a locally minimal subset that still
+// satisfies fails, using the classic ddmin delta-debugging loop: try
+// dropping ever finer complement chunks, restarting at coarse granularity
+// after every successful reduction. The input slice is not modified. It
+// returns nil if fails(edges) is false to begin with (nothing to minimise).
+//
+// fails must be deterministic. The result is 1-minimal with respect to
+// chunk removal, not globally minimal — good enough to turn a 50-vertex
+// random graph into a handful of edges a human can read.
+func MinimizeEdges(edges []graph.Edge, fails func([]graph.Edge) bool) []graph.Edge {
+	cur := append([]graph.Edge(nil), edges...)
+	if !fails(cloneEdges(cur)) {
+		return nil
+	}
+	granularity := 2
+	for len(cur) > 1 {
+		if granularity > len(cur) {
+			granularity = len(cur)
+		}
+		chunk := (len(cur) + granularity - 1) / granularity
+		reduced := false
+		for lo := 0; lo < len(cur); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			cand := make([]graph.Edge, 0, len(cur)-(hi-lo))
+			cand = append(cand, cur[:lo]...)
+			cand = append(cand, cur[hi:]...)
+			if len(cand) > 0 && fails(cloneEdges(cand)) {
+				cur = cand
+				granularity = 2
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if granularity >= len(cur) {
+				break
+			}
+			granularity *= 2
+		}
+	}
+	return cur
+}
+
+// cloneEdges copies the slice so that graph.FromEdges (which retains its
+// argument) never aliases the minimiser's working set.
+func cloneEdges(edges []graph.Edge) []graph.Edge {
+	return append([]graph.Edge(nil), edges...)
+}
+
+// CompactVertices returns an isomorphic copy of g with every isolated
+// vertex removed (except the listed pins, which are kept even if isolated)
+// and vertex IDs renumbered densely. The second result maps old vertex IDs
+// to new ones (-1 for dropped vertices); the pins can be translated through
+// it.
+func CompactVertices(g *graph.Graph, pins ...int32) (*graph.Graph, []int32) {
+	n := g.NumVertices()
+	keep := make([]bool, n)
+	for _, e := range g.Edges() {
+		keep[e.U] = true
+		keep[e.V] = true
+	}
+	for _, p := range pins {
+		keep[p] = true
+	}
+	remap := make([]int32, n)
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		if keep[v] {
+			remap[v] = next
+			next++
+		} else {
+			remap[v] = -1
+		}
+	}
+	edges := make([]graph.Edge, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		edges = append(edges, graph.Edge{U: remap[e.U], V: remap[e.V], W: e.W})
+	}
+	return graph.FromEdges(int(next), edges), remap
+}

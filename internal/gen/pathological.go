@@ -1,0 +1,152 @@
+package gen
+
+import (
+	"repro/internal/graph"
+)
+
+// The generators in this file produce the pathological topologies the
+// correctness harness (internal/check) and the fuzz seed corpora are built
+// from. Each one targets a reassembly corner case of the paper's reductions:
+// theta graphs become parallel reduced edges, necklaces reduce to multigraph
+// rings, bridge chains stress block-cut stitching, loop flowers exercise
+// self-anchored ears (chains with A == B), and Multigraph sprinkles the
+// parallel edges and self-loops Section 3.3.1 says G^r naturally contains.
+
+// Theta returns a generalised theta graph: two hub vertices (0 and 1)
+// joined by len(paths) internally-disjoint paths, where paths[i] is the
+// number of interior (degree-2) vertices on path i. A zero entry yields a
+// direct hub–hub edge, so several zero entries produce parallel edges.
+// Ear reduction contracts every path to a single edge, making the reduced
+// graph a two-vertex multigraph — the minimal parallel-chain stress case.
+func Theta(paths []int, cfg Config, rng *RNG) *graph.Graph {
+	n := 2
+	for _, k := range paths {
+		if k > 0 {
+			n += k
+		}
+	}
+	b := graph.NewBuilder(n)
+	next := int32(2)
+	for _, k := range paths {
+		prev := int32(0)
+		for i := 0; i < k; i++ {
+			b.AddEdge(prev, next, rng.Weight(cfg.MaxWeight))
+			prev = next
+			next++
+		}
+		b.AddEdge(prev, 1, rng.Weight(cfg.MaxWeight))
+	}
+	return b.Build()
+}
+
+// CycleNecklace returns a closed ring of k cycles: cycle i and cycle i+1
+// (mod k) share exactly one vertex. The result is biconnected (removing any
+// shared vertex leaves the remaining beads connected through the ring), so
+// it is a single BCC whose ear reduction collapses every bead to a pair of
+// parallel chains between consecutive shared vertices — a multigraph ring.
+// Each bead has cycleLen edges (cycleLen ≥ 2; 2 gives parallel edges
+// directly). k must be ≥ 3 for the closed ring to be simple at the joints.
+func CycleNecklace(k, cycleLen int, cfg Config, rng *RNG) *graph.Graph {
+	if k < 3 {
+		k = 3
+	}
+	if cycleLen < 2 {
+		cycleLen = 2
+	}
+	// Shared vertices are 0..k-1; each bead i adds cycleLen-1 interior
+	// vertices forming a cycle through shared[i] and shared[i+1 mod k].
+	n := k + k*(cycleLen-2)
+	if cycleLen == 2 {
+		n = k
+	}
+	b := graph.NewBuilder(n)
+	next := int32(k)
+	for i := 0; i < k; i++ {
+		a := int32(i)
+		c := int32((i + 1) % k)
+		// one path of length cycleLen-1 edges and one direct edge a–c
+		// together form the bead cycle of cycleLen edges.
+		prev := a
+		for j := 0; j < cycleLen-2; j++ {
+			b.AddEdge(prev, next, rng.Weight(cfg.MaxWeight))
+			prev = next
+			next++
+		}
+		b.AddEdge(prev, c, rng.Weight(cfg.MaxWeight))
+		b.AddEdge(a, c, rng.Weight(cfg.MaxWeight))
+	}
+	return b.Build()
+}
+
+// BridgeChain returns k cycle blocks of blockLen edges connected in a path
+// by bridge edges: block i's exit vertex is joined to block i+1's entry
+// vertex by a single edge. Every joint vertex is an articulation point and
+// every connecting edge is a bridge (a single-edge BCC), so the block-cut
+// tree alternates cycle blocks and bridge blocks — the stitching path the
+// Section 2.2 oracle must navigate.
+func BridgeChain(k, blockLen int, cfg Config, rng *RNG) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	if blockLen < 3 {
+		blockLen = 3
+	}
+	b := graph.NewBuilder(k * blockLen)
+	for i := 0; i < k; i++ {
+		base := int32(i * blockLen)
+		for j := 0; j < blockLen; j++ {
+			b.AddEdge(base+int32(j), base+int32((j+1)%blockLen), rng.Weight(cfg.MaxWeight))
+		}
+		if i > 0 {
+			// bridge from the previous block's far side to this block's base
+			b.AddEdge(base-int32(blockLen/2), base, rng.Weight(cfg.MaxWeight))
+		}
+	}
+	return b.Build()
+}
+
+// LoopFlower returns one hub vertex with k petal cycles attached at the hub
+// only, plus one self-loop at the hub. Each petal is a self-anchored ear: a
+// loop chain whose two anchors coincide (A == B), the case the 4-way anchor
+// recovery of Section 2.1.3 must cover via the along-chain wrap-around.
+// petalLen is the number of edges per petal (≥ 2).
+func LoopFlower(k, petalLen int, cfg Config, rng *RNG) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	if petalLen < 2 {
+		petalLen = 2
+	}
+	n := 1 + k*(petalLen-1)
+	b := graph.NewBuilder(n)
+	next := int32(1)
+	for i := 0; i < k; i++ {
+		prev := int32(0)
+		for j := 0; j < petalLen-1; j++ {
+			b.AddEdge(prev, next, rng.Weight(cfg.MaxWeight))
+			prev = next
+			next++
+		}
+		b.AddEdge(prev, 0, rng.Weight(cfg.MaxWeight))
+	}
+	b.AddEdge(0, 0, rng.Weight(cfg.MaxWeight))
+	return b.Build()
+}
+
+// Multigraph returns a connected GNM base with extraParallel duplicated
+// edges (random existing edges re-added with fresh weights) and extraLoops
+// self-loops at random vertices — the multigraph-adjacent profile reduced
+// graphs exhibit after ear contraction.
+func Multigraph(n, m, extraParallel, extraLoops int, cfg Config, rng *RNG) *graph.Graph {
+	base := GNM(n, m, cfg, rng)
+	edges := append([]graph.Edge(nil), base.Edges()...)
+	for i := 0; i < extraParallel && len(base.Edges()) > 0; i++ {
+		e := base.Edges()[rng.Intn(len(base.Edges()))]
+		edges = append(edges, graph.Edge{U: e.U, V: e.V, W: rng.Weight(cfg.MaxWeight)})
+	}
+	for i := 0; i < extraLoops && n > 0; i++ {
+		v := rng.Int32n(int32(n))
+		edges = append(edges, graph.Edge{U: v, V: v, W: rng.Weight(cfg.MaxWeight)})
+	}
+	return graph.FromEdges(base.NumVertices(), edges)
+}

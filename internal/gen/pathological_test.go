@@ -1,0 +1,140 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestThetaStructure(t *testing.T) {
+	cfg := Config{MaxWeight: 5}
+	g := Theta([]int{0, 0, 1, 3}, cfg, NewRNG(1))
+	// 2 hubs + 1 + 3 interior vertices; one edge per interior vertex plus
+	// one closing edge per path.
+	if got, want := g.NumVertices(), 6; got != want {
+		t.Fatalf("vertices %d, want %d", got, want)
+	}
+	// each path with k interior vertices contributes k+1 edges
+	if got, want := g.NumEdges(), 8; got != want {
+		t.Fatalf("edges %d, want %d", got, want)
+	}
+	if graph.CountComponents(g) != 1 {
+		t.Fatal("theta not connected")
+	}
+	// cycle space dimension = #paths − 1
+	if dim := g.NumEdges() - g.NumVertices() + 1; dim != 3 {
+		t.Fatalf("dim %d, want 3", dim)
+	}
+	// hubs have degree = #paths, interiors degree 2
+	if g.Degree(0) != 4 || g.Degree(1) != 4 {
+		t.Fatalf("hub degrees %d/%d, want 4", g.Degree(0), g.Degree(1))
+	}
+	for v := int32(2); v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("interior %d degree %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCycleNecklaceBiconnected(t *testing.T) {
+	cfg := Config{MaxWeight: 3}
+	for _, tc := range []struct{ k, cycleLen int }{{3, 2}, {3, 3}, {4, 4}, {5, 3}} {
+		g := CycleNecklace(tc.k, tc.cycleLen, cfg, NewRNG(2))
+		if graph.CountComponents(g) != 1 {
+			t.Fatalf("k=%d len=%d: not connected", tc.k, tc.cycleLen)
+		}
+		if got, want := g.NumEdges(), tc.k*tc.cycleLen; got != want {
+			t.Fatalf("k=%d len=%d: %d edges, want %d", tc.k, tc.cycleLen, got, want)
+		}
+		// Closed necklaces are biconnected: removing any single vertex
+		// leaves the rest connected.
+		n := g.NumVertices()
+		for v := int32(0); v < int32(n); v++ {
+			var edges []graph.Edge
+			for _, e := range g.Edges() {
+				if e.U != v && e.V != v {
+					edges = append(edges, e)
+				}
+			}
+			h := graph.FromEdges(n, edges)
+			if graph.CountComponents(h)-1 > 1 {
+				t.Fatalf("k=%d len=%d: vertex %d is a cut vertex", tc.k, tc.cycleLen, v)
+			}
+		}
+	}
+}
+
+func TestBridgeChainArticulations(t *testing.T) {
+	cfg := Config{MaxWeight: 3}
+	g := BridgeChain(4, 5, cfg, NewRNG(3))
+	if graph.CountComponents(g) != 1 {
+		t.Fatal("bridge chain not connected")
+	}
+	if got, want := g.NumVertices(), 20; got != want {
+		t.Fatalf("vertices %d, want %d", got, want)
+	}
+	// 4 blocks of 5 cycle edges + 3 bridges
+	if got, want := g.NumEdges(), 23; got != want {
+		t.Fatalf("edges %d, want %d", got, want)
+	}
+}
+
+func TestLoopFlowerDegrees(t *testing.T) {
+	cfg := Config{MaxWeight: 3}
+	g := LoopFlower(3, 3, cfg, NewRNG(4))
+	// hub + 3 petals × 2 interior vertices
+	if got, want := g.NumVertices(), 7; got != want {
+		t.Fatalf("vertices %d, want %d", got, want)
+	}
+	// 3 petals × 3 edges + 1 self-loop
+	if got, want := g.NumEdges(), 10; got != want {
+		t.Fatalf("edges %d, want %d", got, want)
+	}
+	// hub degree: 2 per petal + 2 for the self-loop
+	if got, want := g.Degree(0), 8; got != want {
+		t.Fatalf("hub degree %d, want %d", got, want)
+	}
+	loops := 0
+	for _, e := range g.Edges() {
+		if e.U == e.V {
+			loops++
+		}
+	}
+	if loops != 1 {
+		t.Fatalf("%d self-loops, want 1", loops)
+	}
+}
+
+func TestMultigraphHasParallelsAndLoops(t *testing.T) {
+	cfg := Config{MaxWeight: 3}
+	g := Multigraph(8, 12, 3, 2, cfg, NewRNG(5))
+	if graph.CountComponents(g) != 1 {
+		t.Fatal("multigraph base not connected")
+	}
+	if got, want := g.NumEdges(), 12+3+2; got != want {
+		t.Fatalf("edges %d, want %d", got, want)
+	}
+	loops := 0
+	seen := map[[2]int32]int{}
+	parallels := 0
+	for _, e := range g.Edges() {
+		if e.U == e.V {
+			loops++
+			continue
+		}
+		a, b := e.U, e.V
+		if a > b {
+			a, b = b, a
+		}
+		seen[[2]int32{a, b}]++
+		if seen[[2]int32{a, b}] == 2 {
+			parallels++
+		}
+	}
+	if loops != 2 {
+		t.Fatalf("%d self-loops, want 2", loops)
+	}
+	if parallels == 0 {
+		t.Fatal("no parallel edges produced")
+	}
+}

@@ -35,17 +35,24 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 }
 
 // ReadEdgeList parses the plain edge-list format. Vertices are numbered by
-// the maximum endpoint seen; a missing weight column defaults to 1.
+// the maximum endpoint seen, or by a "# vertices N edges M" header comment
+// (as written by WriteEdgeList) when that declares more — without the
+// header, trailing isolated vertices would be lost on a write/read round
+// trip. A missing weight column defaults to 1.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var edges []Edge
 	maxV := int32(-1)
+	declaredN := 0
 	line := 0
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			if n, ok := parseVertexHeader(text); ok && n > declaredN {
+				declaredN = n
+			}
 			continue
 		}
 		f := strings.Fields(text)
@@ -81,7 +88,25 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return FromEdges(int(maxV+1), edges), nil
+	n := int(maxV + 1)
+	if declaredN > n {
+		n = declaredN
+	}
+	return FromEdges(n, edges), nil
+}
+
+// parseVertexHeader recognises the "# vertices N edges M" comment emitted by
+// WriteEdgeList and returns the declared vertex count.
+func parseVertexHeader(text string) (int, bool) {
+	f := strings.Fields(text)
+	if len(f) < 3 || f[0] != "#" || f[1] != "vertices" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(f[2])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // ReadDIMACS parses the DIMACS shortest-path format. Each undirected edge of

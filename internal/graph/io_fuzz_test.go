@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzGraphIO feeds arbitrary bytes to the edge-list parser; whenever they
+// parse, the resulting graph must survive a write → re-read round trip
+// exactly. Weights are compared by bit pattern so NaN inputs (which "%g"
+// prints and ParseFloat re-reads) don't defeat ==.
+func FuzzGraphIO(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("# vertices 3 edges 1\n0 1 2.5\n"))
+	f.Add([]byte("0 1\n1 2 4\n\n# c\n2 0 0.125\n"))
+	f.Add([]byte("0 0 1\n0 1 1\n0 1 9\n"))
+	f.Add([]byte("5 5 NaN\n"))
+	f.Add([]byte("1 2 1e300\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return // invalid inputs are allowed to be rejected
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write of parsed graph failed: %v", err)
+		}
+		h, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written graph failed: %v\n%s", err, buf.Bytes())
+		}
+		if g.NumVertices() != h.NumVertices() || g.NumEdges() != h.NumEdges() {
+			t.Fatalf("shape changed: n=%d m=%d → n=%d m=%d",
+				g.NumVertices(), g.NumEdges(), h.NumVertices(), h.NumEdges())
+		}
+		for i := int32(0); i < int32(g.NumEdges()); i++ {
+			a, b := g.Edge(i), h.Edge(i)
+			if a.U != b.U || a.V != b.V ||
+				math.Float64bits(a.W) != math.Float64bits(b.W) {
+				t.Fatalf("edge %d changed: %+v → %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func edgeListsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for i := int32(0); i < int32(a.NumEdges()); i++ {
+		if a.Edge(i) != b.Edge(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEdgeListRoundTripCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+	}{
+		{"empty", 0, nil},
+		{"isolated-only", 4, nil},
+		{"triangle", 3, []Edge{{0, 1, 1}, {1, 2, 2.5}, {2, 0, 0.125}}},
+		{"self-loop", 2, []Edge{{0, 0, 3}, {0, 1, 1}}},
+		{"parallel", 2, []Edge{{0, 1, 1}, {0, 1, 7}, {1, 0, 2}}},
+		// the asymmetry this test pinned down: trailing isolated vertices
+		// must survive via the "# vertices N edges M" header
+		{"trailing-isolated", 6, []Edge{{0, 1, 1}, {1, 2, 4}}},
+		{"fractional-weights", 3, []Edge{{0, 1, 0.1}, {1, 2, 1e-9}, {0, 2, 123456.789}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := FromEdges(tc.n, tc.edges)
+			var buf bytes.Buffer
+			if err := WriteEdgeList(&buf, g); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			h, err := ReadEdgeList(&buf)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if !edgeListsEqual(g, h) {
+				t.Fatalf("round trip mismatch: wrote n=%d m=%d, read n=%d m=%d",
+					g.NumVertices(), g.NumEdges(), h.NumVertices(), h.NumEdges())
+			}
+		})
+	}
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := strings.Join([]string{
+		"# a leading comment",
+		"",
+		"0 1 2.5",
+		"   ",
+		"% percent comments too",
+		"1 2", // missing weight defaults to 1
+		"# trailing comment",
+	}, "\n")
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got n=%d m=%d, want n=3 m=2", g.NumVertices(), g.NumEdges())
+	}
+	if e := g.Edge(1); e.W != 1 {
+		t.Fatalf("default weight %v, want 1", e.W)
+	}
+}
+
+func TestReadEdgeListHeaderExtendsVertices(t *testing.T) {
+	in := "# vertices 9 edges 1\n0 1 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if g.NumVertices() != 9 {
+		t.Fatalf("header-declared vertices ignored: n=%d, want 9", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListHeaderNeverShrinks(t *testing.T) {
+	// A stale header smaller than the actual endpoints must not truncate.
+	in := "# vertices 2 edges 1\n0 5 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if g.NumVertices() != 6 {
+		t.Fatalf("n=%d, want 6 (max endpoint wins over smaller header)", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListMalformedInputs(t *testing.T) {
+	for _, in := range []string{
+		"0\n",        // too few fields
+		"x 1 2\n",    // bad vertex
+		"0 1 zzz\n",  // bad weight
+		"-1 2 1.0\n", // negative vertex
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q: expected error, got none", in)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package hetero
+
+import "testing"
+
+// Edge-case tests for the work deque, complementing the property and
+// concurrency tests in hetero_test.go.
+
+func TestDequeEmpty(t *testing.T) {
+	for _, d := range []*Deque{NewDeque(nil), NewDeque([]Unit{})} {
+		if d.Remaining() != 0 {
+			t.Fatalf("empty deque remaining %d", d.Remaining())
+		}
+		if got := d.PopSmall(1); got != nil {
+			t.Fatalf("PopSmall on empty returned %v", got)
+		}
+		if got := d.PopBig(1); got != nil {
+			t.Fatalf("PopBig on empty returned %v", got)
+		}
+		// repeated pops must stay nil, not panic or go negative
+		if d.PopSmall(100) != nil || d.PopBig(100) != nil || d.Remaining() != 0 {
+			t.Fatal("empty deque unstable under repeated pops")
+		}
+	}
+}
+
+func TestDequePopSmallOversizedBatch(t *testing.T) {
+	d := NewDeque([]Unit{{ID: 0, Size: 2}, {ID: 1, Size: 1}, {ID: 2, Size: 3}})
+	got := d.PopSmall(10)
+	if len(got) != 3 {
+		t.Fatalf("oversized PopSmall returned %d units, want all 3", len(got))
+	}
+	if got[0].Size != 1 || got[1].Size != 2 || got[2].Size != 3 {
+		t.Fatalf("units not sorted ascending: %+v", got)
+	}
+	if d.Remaining() != 0 || d.PopSmall(1) != nil {
+		t.Fatal("deque not fully drained")
+	}
+}
+
+func TestDequePopBigOversizedBatch(t *testing.T) {
+	d := NewDeque([]Unit{{ID: 0, Size: 2}, {ID: 1, Size: 1}, {ID: 2, Size: 3}})
+	got := d.PopBig(10)
+	if len(got) != 3 {
+		t.Fatalf("oversized PopBig returned %d units, want all 3", len(got))
+	}
+	// PopBig returns the tail slice, still in ascending order
+	if got[len(got)-1].Size != 3 {
+		t.Fatalf("big end missing largest unit: %+v", got)
+	}
+	if d.Remaining() != 0 || d.PopBig(1) != nil {
+		t.Fatal("deque not fully drained")
+	}
+}
+
+func TestDequeInterleavedDrainToZero(t *testing.T) {
+	n := 25
+	units := make([]Unit, n)
+	for i := range units {
+		units[i] = Unit{ID: int32(i), Size: int64(i)}
+	}
+	d := NewDeque(units)
+	seen := make(map[int32]bool)
+	small := true
+	for d.Remaining() > 0 {
+		var batch []Unit
+		if small {
+			batch = d.PopSmall(2)
+		} else {
+			batch = d.PopBig(3)
+		}
+		small = !small
+		if len(batch) == 0 {
+			t.Fatal("pop returned nothing while units remained")
+		}
+		for _, u := range batch {
+			if seen[u.ID] {
+				t.Fatalf("unit %d delivered twice", u.ID)
+			}
+			seen[u.ID] = true
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("drained %d of %d units", len(seen), n)
+	}
+	if d.PopSmall(1) != nil || d.PopBig(1) != nil || d.Remaining() != 0 {
+		t.Fatal("deque not stable after drain")
+	}
+}
+
+func TestDequeSingleUnitBothEnds(t *testing.T) {
+	d := NewDeque([]Unit{{ID: 7, Size: 42}})
+	if got := d.PopBig(1); len(got) != 1 || got[0].ID != 7 {
+		t.Fatalf("single unit not served from big end: %+v", got)
+	}
+	if d.PopSmall(1) != nil {
+		t.Fatal("small end served an already-claimed unit")
+	}
+}

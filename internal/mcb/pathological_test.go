@@ -1,0 +1,64 @@
+package mcb_test
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mcb"
+)
+
+// Differential MCB tests over the pathological generator families — the
+// topologies Lemma 3.1's weight-preservation argument has to survive:
+// parallel reduced chains (theta), multigraph rings (necklaces), loop
+// chains (flowers), and genuine multigraphs. All generators emit integral
+// weights, which check.MCB requires for exact basis-weight comparison.
+
+func TestMCBPathologicalFamilies(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 7}
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := gen.NewRNG(seed)
+		for _, tc := range []struct {
+			name string
+			g    *graph.Graph
+		}{
+			{"theta", gen.Theta([]int{0, 0, 1, 2, 4}, cfg, rng)},
+			{"necklace", gen.CycleNecklace(4, 3, cfg, rng)},
+			{"necklace-tight", gen.CycleNecklace(3, 2, cfg, rng)},
+			{"bridge-chain", gen.BridgeChain(3, 4, cfg, rng)},
+			{"loop-flower", gen.LoopFlower(3, 3, cfg, rng)},
+			{"multigraph", gen.Multigraph(7, 10, 3, 2, cfg, rng)},
+		} {
+			if err := check.MCB(tc.g, seed); err != nil {
+				t.Fatalf("%s seed %d (n=%d m=%d): %v",
+					tc.name, seed, tc.g.NumVertices(), tc.g.NumEdges(), err)
+			}
+		}
+	}
+}
+
+// TestMCBDimOnPathological pins the cycle-space dimension of each family
+// against mcb.Dim (m − n + #components).
+func TestMCBDimOnPathological(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 3}
+	rng := gen.NewRNG(9)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		dim  int
+	}{
+		// theta with p paths: dim = p − 1
+		{"theta", gen.Theta([]int{0, 1, 2}, cfg, rng), 2},
+		// necklace of k beads: one independent cycle per bead plus the ring
+		{"necklace", gen.CycleNecklace(4, 3, cfg, rng), 5},
+		// bridge chain: one cycle per block, bridges add nothing
+		{"bridge-chain", gen.BridgeChain(3, 4, cfg, rng), 3},
+		// flower: one cycle per petal plus the self-loop
+		{"loop-flower", gen.LoopFlower(3, 3, cfg, rng), 4},
+	} {
+		if got := mcb.Dim(tc.g); got != tc.dim {
+			t.Fatalf("%s: dim %d, want %d", tc.name, got, tc.dim)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mcb"
+)
+
+// CycleBasisMatches is the cross-algorithm companion to CycleBasis: given
+// two independently computed bases of the same graph, it certifies each one
+// structurally and then checks that they agree on dimension and total
+// weight. Two minimum cycle bases need not contain the same cycles, but
+// their weights are equal (the basis weight of a graph is unique), so a
+// weight mismatch proves at least one result non-minimal.
+func CycleBasisMatches(g *graph.Graph, a, b *mcb.Result) error {
+	if err := CycleBasis(g, a); err != nil {
+		return fmt.Errorf("first basis: %w", err)
+	}
+	if err := CycleBasis(g, b); err != nil {
+		return fmt.Errorf("second basis: %w", err)
+	}
+	if a.Dim != b.Dim {
+		return fmt.Errorf("verify: basis dimensions differ: %d vs %d", a.Dim, b.Dim)
+	}
+	if a.TotalWeight != b.TotalWeight {
+		return fmt.Errorf("verify: basis weights differ: %v vs %v", a.TotalWeight, b.TotalWeight)
+	}
+	return nil
+}
