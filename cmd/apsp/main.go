@@ -10,15 +10,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/apsp"
+	"repro/internal/cli"
 	"repro/internal/datasets"
 	"repro/internal/exp"
-	"repro/internal/graph"
 	"repro/internal/hetero"
 	"repro/internal/verify"
 )
@@ -45,6 +44,7 @@ func main() {
 	var paths queryList
 	flag.Var(&queries, "query", "distance query \"u,v\" (repeatable)")
 	flag.Var(&paths, "path", "route query \"u,v\": print the actual shortest path (repeatable)")
+	cli.SetUsage("apsp", "[-file graph | -dataset name] [flags]")
 	flag.Parse()
 
 	if *list {
@@ -53,10 +53,9 @@ func main() {
 		}
 		return
 	}
-	g, name, err := loadInput(*file, *dataset, *scale, *seed)
+	g, name, err := cli.LoadInput(*file, *dataset, *scale, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "apsp: %v\n", err)
-		os.Exit(1)
+		cli.Exit("apsp", err)
 	}
 	fmt.Printf("graph %s: %d vertices, %d edges\n", name, g.NumVertices(), g.NumEdges())
 
@@ -72,8 +71,7 @@ func main() {
 
 	if *check {
 		if err := verify.OracleSample(g, o, 10); err != nil {
-			fmt.Fprintf(os.Stderr, "apsp: VERIFICATION FAILED: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("apsp", "VERIFICATION FAILED: %v", err)
 		}
 		fmt.Println("verification: oracle matches reference Bellman–Ford from 10 sources")
 	}
@@ -97,18 +95,14 @@ func main() {
 			b.Relaxations, o.Relaxations, float64(b.Relaxations)/float64(o.Relaxations))
 	}
 	for _, q := range queries {
-		parts := strings.SplitN(q, ",", 2)
-		if len(parts) != 2 {
-			fmt.Fprintf(os.Stderr, "apsp: bad query %q (want \"u,v\")\n", q)
-			os.Exit(1)
+		u, v, err := parsePair(q, g.NumVertices())
+		if err != nil {
+			cli.Exit("apsp", err)
 		}
-		u, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
-		v, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
-		if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= g.NumVertices() || v >= g.NumVertices() {
-			fmt.Fprintf(os.Stderr, "apsp: bad query %q\n", q)
-			os.Exit(1)
+		d, err := o.QueryChecked(u, v)
+		if err != nil {
+			cli.Fatalf("apsp", "%v", err)
 		}
-		d := o.Query(int32(u), int32(v))
 		if d >= apsp.Inf {
 			fmt.Printf("d(%d, %d) = unreachable\n", u, v)
 		} else {
@@ -118,18 +112,19 @@ func main() {
 	for _, q := range paths {
 		u, v, err := parsePair(q, g.NumVertices())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "apsp: %v\n", err)
-			os.Exit(1)
+			cli.Exit("apsp", err)
 		}
-		w := o.Path(u, v)
+		w, err := o.PathChecked(u, v)
+		if err != nil {
+			cli.Fatalf("apsp", "%v", err)
+		}
 		if w == nil {
 			fmt.Printf("path(%d, %d): unreachable\n", u, v)
 			continue
 		}
 		d := o.Query(u, v)
 		if err := verify.Walk(g, w, d); err != nil {
-			fmt.Fprintf(os.Stderr, "apsp: path verification failed: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("apsp", "path verification failed: %v", err)
 		}
 		fmt.Printf("path(%d, %d) = %v (weight %g)\n", u, v, w, d)
 	}
@@ -138,30 +133,12 @@ func main() {
 func parsePair(q string, n int) (int32, int32, error) {
 	parts := strings.SplitN(q, ",", 2)
 	if len(parts) != 2 {
-		return 0, 0, fmt.Errorf("bad pair %q (want \"u,v\")", q)
+		return 0, 0, cli.Usagef("bad pair %q (want \"u,v\")", q)
 	}
 	u, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
 	v, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
 	if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= n || v >= n {
-		return 0, 0, fmt.Errorf("bad pair %q", q)
+		return 0, 0, cli.Usagef("bad pair %q", q)
 	}
 	return int32(u), int32(v), nil
-}
-
-func loadInput(file, dataset string, scale float64, seed uint64) (*graph.Graph, string, error) {
-	switch {
-	case file != "" && dataset != "":
-		return nil, "", fmt.Errorf("use either -file or -dataset, not both")
-	case file != "":
-		g, err := graph.LoadFile(file)
-		return g, file, err
-	case dataset != "":
-		spec, err := datasets.ByName(dataset)
-		if err != nil {
-			return nil, "", err
-		}
-		return spec.Generate(scale, seed), dataset, nil
-	default:
-		return nil, "", fmt.Errorf("need -file or -dataset (use -list for dataset names)")
-	}
 }

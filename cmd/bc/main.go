@@ -10,12 +10,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"repro/internal/bc"
-	"repro/internal/datasets"
-	"repro/internal/graph"
+	"repro/internal/cli"
 	"repro/internal/hetero"
 )
 
@@ -31,12 +29,12 @@ func main() {
 		top     = flag.Int("top", 10, "print the top-K vertices")
 		sim     = flag.Bool("sim", false, "also price the computation on the four virtual platforms")
 	)
+	cli.SetUsage("bc", "[-file graph | -dataset name] [flags]")
 	flag.Parse()
 
-	g, name, err := loadInput(*file, *dataset, *scale, *seed)
+	g, name, err := cli.LoadInput(*file, *dataset, *scale, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bc: %v\n", err)
-		os.Exit(1)
+		cli.Exit("bc", err)
 	}
 	fmt.Printf("graph %s: %d vertices, %d edges\n", name, g.NumVertices(), g.NumEdges())
 
@@ -50,8 +48,7 @@ func main() {
 	case "sampled":
 		res = bc.Sampled(g, *samples, *seed, *workers)
 	default:
-		fmt.Fprintf(os.Stderr, "bc: unknown method %q\n", *method)
-		os.Exit(2)
+		cli.BadUsage("bc", "unknown method %q", *method)
 	}
 	fmt.Printf("%s betweenness computed in %v (%d relaxations)\n",
 		*method, time.Since(start), res.Relaxations)
@@ -79,23 +76,5 @@ func main() {
 			}
 			fmt.Printf("  %-11s %10.4f virtual s (%.2fx)\n", c.name, sched.Makespan, seq/sched.Makespan)
 		}
-	}
-}
-
-func loadInput(file, dataset string, scale float64, seed uint64) (*graph.Graph, string, error) {
-	switch {
-	case file != "" && dataset != "":
-		return nil, "", fmt.Errorf("use either -file or -dataset, not both")
-	case file != "":
-		g, err := graph.LoadFile(file)
-		return g, file, err
-	case dataset != "":
-		spec, err := datasets.ByName(dataset)
-		if err != nil {
-			return nil, "", err
-		}
-		return spec.Generate(scale, seed), dataset, nil
-	default:
-		return nil, "", fmt.Errorf("need -file or -dataset")
 	}
 }

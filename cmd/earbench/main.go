@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/datasets"
 	"repro/internal/exp"
 	"repro/internal/hetero"
@@ -36,12 +37,12 @@ func main() {
 		asCSV    = flag.Bool("csv", false, "emit raw CSV instead of formatted tables")
 		export   = flag.Bool("export-devices", false, "print the built-in platform calibration as JSON and exit")
 	)
+	cli.SetUsage("earbench", "-exp name [flags]")
 	flag.Parse()
 	if *export {
 		devs := []*hetero.Device{hetero.SequentialCPU(), hetero.MulticoreCPU(), hetero.TeslaK40c()}
 		if err := hetero.WriteDevices(os.Stdout, devs); err != nil {
-			fmt.Fprintf(os.Stderr, "earbench: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("earbench", "%v", err)
 		}
 		return
 	}
@@ -62,8 +63,7 @@ func main() {
 		return false
 	}
 	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "earbench: %v\n", err)
-		os.Exit(1)
+		cli.Fatalf("earbench", "%v", err)
 	}
 
 	ran := false
@@ -144,7 +144,6 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "earbench: unknown experiment %q\n", *expName)
-		os.Exit(2)
+		cli.BadUsage("earbench", "unknown experiment %q", *expName)
 	}
 }

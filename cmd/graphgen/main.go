@@ -12,6 +12,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/datasets"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -33,6 +34,7 @@ func main() {
 		out       = flag.String("o", "", "output file (default stdout)")
 		format    = flag.String("format", "", "output format: edgelist (default), dot, binary; inferred from -o extension (.dot, .earg) when empty")
 	)
+	cli.SetUsage("graphgen", "[-dataset name | -family fam] [flags]")
 	flag.Parse()
 
 	cfg := gen.Config{MaxWeight: *maxW}
@@ -42,8 +44,7 @@ func main() {
 	case *dataset != "":
 		spec, err := datasets.ByName(*dataset)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
-			os.Exit(1)
+			cli.BadUsage("graphgen", "%v", err)
 		}
 		g = spec.Generate(*scale, *seed)
 	case *family != "":
@@ -69,23 +70,20 @@ func main() {
 		case "ring":
 			g = gen.Ring(*n, cfg, rng)
 		default:
-			fmt.Fprintf(os.Stderr, "graphgen: unknown family %q\n", *family)
-			os.Exit(2)
+			cli.BadUsage("graphgen", "unknown family %q", *family)
 		}
 		if *subdivide > 0 {
 			g = gen.Subdivide(g, *subdivide, *chainLen, cfg, rng)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "graphgen: need -dataset or -family")
-		os.Exit(2)
+		cli.BadUsage("graphgen", "need -dataset or -family")
 	}
 
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("graphgen", "%v", err)
 		}
 		defer f.Close()
 		w = f
@@ -110,12 +108,10 @@ func main() {
 	case "binary":
 		err = graph.WriteBinary(w, g)
 	default:
-		fmt.Fprintf(os.Stderr, "graphgen: unknown format %q\n", fm)
-		os.Exit(2)
+		cli.BadUsage("graphgen", "unknown format %q", fm)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
-		os.Exit(1)
+		cli.Fatalf("graphgen", "%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d vertices, %d edges (%s)\n", g.NumVertices(), g.NumEdges(), fm)
 }

@@ -8,11 +8,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
-	"repro/internal/datasets"
-	"repro/internal/graph"
+	"repro/internal/cli"
 	"repro/internal/hetero"
 	"repro/internal/mcb"
 	"repro/internal/verify"
@@ -30,6 +28,7 @@ func main() {
 		printN   = flag.Int("print", 0, "print the N lightest basis cycles")
 		check    = flag.Bool("verify", false, "certify basis structure and cross-check the weight with Horton's algorithm")
 	)
+	cli.SetUsage("mcb", "[-file graph | -dataset name] [flags]")
 	flag.Parse()
 
 	var p mcb.Platform
@@ -43,14 +42,12 @@ func main() {
 	case "cpu+gpu", "hetero":
 		p = mcb.Heterogeneous
 	default:
-		fmt.Fprintf(os.Stderr, "mcb: unknown platform %q\n", *platform)
-		os.Exit(2)
+		cli.BadUsage("mcb", "unknown platform %q", *platform)
 	}
 
-	g, name, err := loadInput(*file, *dataset, *scale, *seed)
+	g, name, err := cli.LoadInput(*file, *dataset, *scale, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mcb: %v\n", err)
-		os.Exit(1)
+		cli.Exit("mcb", err)
 	}
 	fmt.Printf("graph %s: %d vertices, %d edges, cycle space dimension %d\n",
 		name, g.NumVertices(), g.NumEdges(), mcb.Dim(g))
@@ -72,14 +69,12 @@ func main() {
 
 	if *check {
 		if err := verify.CycleBasis(g, res); err != nil {
-			fmt.Fprintf(os.Stderr, "mcb: VERIFICATION FAILED: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("mcb", "VERIFICATION FAILED: %v", err)
 		}
 		horton := mcb.HortonMCB(g, false, *seed+7)
 		if horton.TotalWeight != res.TotalWeight {
-			fmt.Fprintf(os.Stderr, "mcb: VERIFICATION FAILED: Horton weight %g != De Pina weight %g\n",
+			cli.Fatalf("mcb", "VERIFICATION FAILED: Horton weight %g != De Pina weight %g",
 				horton.TotalWeight, res.TotalWeight)
-			os.Exit(1)
 		}
 		fmt.Println("verification: basis is independent, structurally valid, and Horton's algorithm agrees on the weight")
 	}
@@ -111,23 +106,5 @@ func main() {
 			}
 			fmt.Println()
 		}
-	}
-}
-
-func loadInput(file, dataset string, scale float64, seed uint64) (*graph.Graph, string, error) {
-	switch {
-	case file != "" && dataset != "":
-		return nil, "", fmt.Errorf("use either -file or -dataset, not both")
-	case file != "":
-		g, err := graph.LoadFile(file)
-		return g, file, err
-	case dataset != "":
-		spec, err := datasets.ByName(dataset)
-		if err != nil {
-			return nil, "", err
-		}
-		return spec.Generate(scale, seed), dataset, nil
-	default:
-		return nil, "", fmt.Errorf("need -file or -dataset")
 	}
 }

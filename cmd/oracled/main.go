@@ -1,0 +1,112 @@
+// Command oracled serves shortest-path and cycle-basis queries over HTTP
+// from a distance oracle built once at startup. It loads a graph from any
+// supported file format — including the binary .earg snapshots written by
+// graphgen, which skip parsing on restart — or generates a named dataset,
+// builds the ear-decomposition oracle (and, with -mcb, a minimum cycle
+// basis), and answers JSON queries until SIGTERM/SIGINT, at which point it
+// stops accepting connections and drains in-flight requests.
+//
+//	oracled -file snapshot.earg -addr :8080
+//	oracled -dataset Planar_1 -scale 0.02 -mcb
+//
+//	curl 'localhost:8080/distance?u=0&v=17'
+//	curl 'localhost:8080/path?u=0&v=17'
+//	curl 'localhost:8080/mcb/cycle?i=0'
+//	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/debug/vars'
+//
+// Request metrics (counters and latency histograms per endpoint, plus the
+// oracle's build-phase timers) are exported under /stats and, via expvar,
+// /debug/vars; /debug/pprof/ serves the standard profiles.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/apsp"
+	"repro/internal/cli"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+	"repro/internal/mcb"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		file     = flag.String("file", "", "graph file (.mtx, .gr, .earg snapshot, or edge list)")
+		dataset  = flag.String("dataset", "", "named synthetic dataset")
+		scale    = flag.Float64("scale", 0.03, "dataset scale")
+		seed     = flag.Uint64("seed", 1, "dataset seed")
+		workers  = flag.Int("workers", hetero.Workers(), "parallel workers for the oracle build")
+		withMCB  = flag.Bool("mcb", false, "also compute a minimum cycle basis and serve /mcb/cycle")
+		snapshot = flag.String("save-snapshot", "", "write the loaded graph as a binary .earg snapshot and continue")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	)
+	cli.SetUsage("oracled", "[-file graph | -dataset name] [-addr host:port] [flags]")
+	flag.Parse()
+
+	g, name, err := cli.LoadInput(*file, *dataset, *scale, *seed)
+	if err != nil {
+		cli.Exit("oracled", err)
+	}
+	if *snapshot != "" {
+		if err := graph.SaveBinary(*snapshot, g); err != nil {
+			cli.Fatalf("oracled", "save snapshot: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "oracled: wrote snapshot %s\n", *snapshot)
+	}
+
+	start := time.Now()
+	oracle := apsp.NewOracleParallel(g, *workers)
+	fmt.Fprintf(os.Stderr, "oracled: graph %s (%d vertices, %d edges), oracle built in %v (phases %s)\n",
+		name, g.NumVertices(), g.NumEdges(), time.Since(start), oracle.BuildPhases)
+
+	var basis *mcb.Result
+	if *withMCB {
+		start = time.Now()
+		basis = mcb.Compute(g, mcb.Options{UseEar: true, Workers: *workers, Seed: *seed})
+		fmt.Fprintf(os.Stderr, "oracled: cycle basis: %d cycles, total weight %g, built in %v\n",
+			len(basis.Cycles), basis.TotalWeight, time.Since(start))
+	}
+
+	obs.Default.Publish("obs")
+	s := newServer(g, oracle, basis, obs.Default)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Fatalf("oracled", "listen: %v", err)
+	}
+	srv := &http.Server{Handler: s.mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("oracled: serving on http://%s\n", ln.Addr())
+	if err := serve(ctx, srv, ln, *drain); err != nil {
+		cli.Fatalf("oracled", "%v", err)
+	}
+	fmt.Fprintln(os.Stderr, "oracled: drained, bye")
+}
+
+// serve runs srv on ln until ctx is cancelled (SIGTERM/SIGINT), then shuts
+// down gracefully: the listener closes immediately, in-flight requests get
+// up to drain to finish.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	return srv.Shutdown(sctx)
+}

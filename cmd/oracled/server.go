@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/apsp"
+	"repro/internal/graph"
+	"repro/internal/mcb"
+	"repro/internal/obs"
+)
+
+// server is the HTTP face of one built oracle. Everything it reads — the
+// graph, the oracle tables, the optional cycle basis — is immutable after
+// construction, so handlers run concurrently without locking; the only
+// mutable state is the obs metrics, which are atomic.
+type server struct {
+	g      *graph.Graph
+	oracle *apsp.Oracle
+	basis  *mcb.Result
+	reg    *obs.Registry
+	mux    *http.ServeMux
+}
+
+func newServer(g *graph.Graph, oracle *apsp.Oracle, basis *mcb.Result, reg *obs.Registry) *server {
+	s := &server{g: g, oracle: oracle, basis: basis, reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handle("healthz", s.healthz))
+	s.mux.HandleFunc("/distance", s.handle("distance", s.distance))
+	s.mux.HandleFunc("/path", s.handle("path", s.path))
+	s.mux.HandleFunc("/mcb/cycle", s.handle("mcb.cycle", s.mcbCycle))
+	s.mux.HandleFunc("/stats", s.handle("stats", s.stats))
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// httpError carries a status code through the handler return path.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+// handle wraps an endpoint with the standard metrics — request and error
+// counters plus a latency histogram, named oracled.<endpoint>.{requests,
+// errors, latency} — and JSON encoding of both results and errors.
+func (s *server) handle(name string, fn func(r *http.Request) (interface{}, error)) http.HandlerFunc {
+	reqs := s.reg.Counter("oracled." + name + ".requests")
+	errs := s.reg.Counter("oracled." + name + ".errors")
+	lat := s.reg.Histogram("oracled." + name + ".latency")
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		reqs.Inc()
+		defer func() { lat.Observe(time.Since(t0)) }()
+		out, err := fn(r)
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			errs.Inc()
+			status := http.StatusBadRequest
+			var he *httpError
+			if errors.As(err, &he) {
+				status = he.status
+			}
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		json.NewEncoder(w).Encode(out)
+	}
+}
+
+func (s *server) healthz(*http.Request) (interface{}, error) {
+	return map[string]interface{}{
+		"status":   "ok",
+		"vertices": s.g.NumVertices(),
+		"edges":    s.g.NumEdges(),
+		"mcb":      s.basis != nil,
+	}, nil
+}
+
+// pairParam parses the u and v query parameters. Malformed values are 400;
+// out-of-range values flow to the oracle's checked API, whose ErrVertexRange
+// also maps to 400 — the daemon never sees a panic either way.
+func pairParam(r *http.Request) (int32, int32, error) {
+	u, err1 := strconv.ParseInt(r.URL.Query().Get("u"), 10, 32)
+	v, err2 := strconv.ParseInt(r.URL.Query().Get("v"), 10, 32)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("need integer query parameters u and v")
+	}
+	return int32(u), int32(v), nil
+}
+
+func (s *server) distance(r *http.Request) (interface{}, error) {
+	u, v, err := pairParam(r)
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.oracle.QueryChecked(u, v)
+	if err != nil {
+		return nil, err
+	}
+	resp := map[string]interface{}{"u": u, "v": v, "reachable": d < apsp.Inf}
+	if d < apsp.Inf {
+		resp["distance"] = d
+	}
+	return resp, nil
+}
+
+func (s *server) path(r *http.Request) (interface{}, error) {
+	u, v, err := pairParam(r)
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.oracle.QueryChecked(u, v)
+	if err != nil {
+		return nil, err
+	}
+	walk, err := s.oracle.PathChecked(u, v)
+	if err != nil {
+		return nil, &httpError{http.StatusInternalServerError, err}
+	}
+	resp := map[string]interface{}{"u": u, "v": v, "reachable": d < apsp.Inf}
+	if d < apsp.Inf {
+		resp["distance"] = d
+		resp["path"] = walk
+	}
+	return resp, nil
+}
+
+func (s *server) mcbCycle(r *http.Request) (interface{}, error) {
+	if s.basis == nil {
+		return nil, &httpError{http.StatusServiceUnavailable,
+			fmt.Errorf("no cycle basis loaded (start with -mcb)")}
+	}
+	i, err := strconv.Atoi(r.URL.Query().Get("i"))
+	if err != nil {
+		return nil, fmt.Errorf("need integer query parameter i")
+	}
+	c, err := s.basis.CycleChecked(s.g, i)
+	if err != nil {
+		if errors.Is(err, mcb.ErrCycleIndex) {
+			return nil, &httpError{http.StatusNotFound, err}
+		}
+		return nil, &httpError{http.StatusInternalServerError, err}
+	}
+	seq, err := mcb.VertexSequenceChecked(s.g, c)
+	if err != nil {
+		return nil, &httpError{http.StatusInternalServerError, err}
+	}
+	edges := make([][2]int32, len(c.Edges))
+	for j, eid := range c.Edges {
+		e := s.g.Edge(eid)
+		edges[j] = [2]int32{e.U, e.V}
+	}
+	return map[string]interface{}{
+		"index":    i,
+		"dim":      s.basis.Dim,
+		"weight":   c.Weight,
+		"edges":    edges,
+		"vertices": seq,
+	}, nil
+}
+
+func (s *server) stats(*http.Request) (interface{}, error) {
+	return json.RawMessage(s.reg.String()), nil
+}

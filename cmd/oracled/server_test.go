@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apsp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mcb"
+	"repro/internal/obs"
+)
+
+func testServer(t *testing.T) (*server, *graph.Graph, []graph.Weight) {
+	t.Helper()
+	cfg := gen.Config{MaxWeight: 9}
+	rng := gen.NewRNG(42)
+	g := gen.ChainBlocks([]*graph.Graph{
+		gen.Theta([]int{2, 3, 4}, cfg, rng),
+		gen.CycleNecklace(3, 3, cfg, rng),
+	}, cfg, rng)
+	oracle := apsp.NewOracle(g)
+	basis := mcb.Compute(g, mcb.Options{UseEar: true})
+	return newServer(g, oracle, basis, obs.NewRegistry()), g, apsp.FloydWarshall(g)
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, wantStatus int) map[string]interface{} {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+	return out
+}
+
+func TestEndpoints(t *testing.T) {
+	s, g, ref := testServer(t)
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	h := getJSON(t, ts, "/healthz", 200)
+	if h["status"] != "ok" || h["mcb"] != true {
+		t.Fatalf("healthz: %v", h)
+	}
+
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v += 3 {
+			out := getJSON(t, ts, fmt.Sprintf("/distance?u=%d&v=%d", u, v), 200)
+			want := ref[u*n+v]
+			if want >= apsp.Inf {
+				if out["reachable"] != false {
+					t.Fatalf("distance(%d,%d): %v, want unreachable", u, v, out)
+				}
+				continue
+			}
+			if got := out["distance"].(float64); got != want {
+				t.Fatalf("distance(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+
+	p := getJSON(t, ts, "/path?u=0&v=5", 200)
+	if p["reachable"] != true {
+		t.Fatalf("path: %v", p)
+	}
+	walk := p["path"].([]interface{})
+	if int32(walk[0].(float64)) != 0 || int32(walk[len(walk)-1].(float64)) != 5 {
+		t.Fatalf("path endpoints wrong: %v", walk)
+	}
+
+	c := getJSON(t, ts, "/mcb/cycle?i=0", 200)
+	if c["weight"].(float64) <= 0 || len(c["vertices"].([]interface{})) == 0 {
+		t.Fatalf("mcb cycle: %v", c)
+	}
+
+	// Error paths: malformed and out-of-range inputs are clean JSON errors.
+	for _, bad := range []struct {
+		path   string
+		status int
+	}{
+		{"/distance?u=zero&v=1", 400},
+		{"/distance?u=-1&v=0", 400},
+		{fmt.Sprintf("/distance?u=0&v=%d", n), 400},
+		{"/path?u=0", 400},
+		{fmt.Sprintf("/path?u=%d&v=0", n+7), 400},
+		{"/mcb/cycle?i=notanumber", 400},
+		{"/mcb/cycle?i=99999", 404},
+		{"/mcb/cycle?i=-1", 404},
+	} {
+		out := getJSON(t, ts, bad.path, bad.status)
+		if out["error"] == "" {
+			t.Fatalf("%s: missing error body: %v", bad.path, out)
+		}
+	}
+
+	// Metrics observed the traffic and render as one JSON object.
+	stats := getJSON(t, ts, "/stats", 200)
+	if _, ok := stats["oracled.distance.requests"]; !ok {
+		t.Fatalf("stats missing request counter: %v", stats)
+	}
+	if _, ok := stats["oracled.distance.latency"]; !ok {
+		t.Fatalf("stats missing latency histogram: %v", stats)
+	}
+}
+
+func TestMCBDisabled(t *testing.T) {
+	s, _, _ := testServer(t)
+	s.basis = nil
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	out := getJSON(t, ts, "/mcb/cycle?i=0", 503)
+	if out["error"] == "" {
+		t.Fatal("missing error body")
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	s, g, ref := testServer(t)
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	n := g.NumVertices()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				u, v := (w+i)%n, (w*3+i*7)%n
+				resp, err := ts.Client().Get(fmt.Sprintf("%s/distance?u=%d&v=%d", ts.URL, u, v))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var out map[string]interface{}
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := ref[u*n+v]; want < apsp.Inf && out["distance"].(float64) != want {
+					errs <- fmt.Errorf("d(%d,%d) = %v, want %v", u, v, out["distance"], want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGracefulShutdown drives the same serve loop main uses: cancel the
+// context (the signal path) and assert the server drains an in-flight
+// request before returning.
+func TestGracefulShutdown(t *testing.T) {
+	s, _, _ := testServer(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		fmt.Fprint(w, "done")
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: s.mux}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, srv, ln, 5*time.Second) }()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				err = fmt.Errorf("slow request status %d", resp.StatusCode)
+			}
+		}
+		slowDone <- err
+	}()
+	<-started
+	cancel() // deliver the "signal" while /slow is in flight
+	select {
+	case err := <-serveErr:
+		t.Fatalf("serve returned before draining: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("in-flight request: %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+}

@@ -4,6 +4,13 @@
 // and the three comparison baselines of Section 2.4.3 (plain per-source
 // Dijkstra, the Banerjee et al. BCC approach, and the Djidjev et al.
 // partition approach).
+//
+// Panic-free query contract: once an oracle is built, its query surface
+// (Query, QueryChecked, Path, PathChecked, Row, Materialize) never panics
+// on any input and never mutates oracle state — invalid vertex IDs surface
+// as *QueryError from the *Checked variants (or nil/Inf from the unchecked
+// ones), and every method is safe for concurrent callers. Long-lived
+// serving processes (cmd/oracled) depend on both properties.
 package apsp
 
 import (
@@ -119,6 +126,9 @@ func (a *EarAPSP) srAt(x, y int32) graph.Weight { return a.SR[int(x)*a.nr+int(y)
 //     wrap-around on loop chains, which one of the four combinations
 //     covers).
 func (a *EarAPSP) Query(x, y int32) graph.Weight {
+	if x < 0 || int(x) >= a.G.NumVertices() || y < 0 || int(y) >= a.G.NumVertices() {
+		return Inf
+	}
 	if x == y {
 		return 0
 	}

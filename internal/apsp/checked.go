@@ -1,0 +1,46 @@
+package apsp
+
+import "repro/internal/graph"
+
+// Checked query surface.
+//
+// Oracle, EarAPSP, and Djidjev are immutable once their constructor
+// returns: queries only read the precomputed tables (S^r, the articulation
+// table A, the block-cut forest) and any scratch state is allocated per
+// call. All Query*/Path* methods are therefore safe for concurrent use by
+// any number of goroutines, which is what a long-lived serving process
+// (cmd/oracled) relies on. A race-detector test in internal/check hammers
+// this property.
+//
+// The *Checked variants validate vertex IDs and report failures as
+// *QueryError values instead of panicking; the unchecked variants keep
+// their original signatures for hot loops that already guarantee valid
+// inputs.
+
+// QueryChecked returns d_G(u, v), validating the pair first. The error is
+// a *QueryError wrapping ErrVertexRange when either vertex is outside
+// [0, n). Unreachable pairs are not an error: they report Inf.
+func (o *Oracle) QueryChecked(u, v int32) (graph.Weight, error) {
+	if err := checkPair("Query", u, v, o.G.NumVertices()); err != nil {
+		return Inf, err
+	}
+	return o.Query(u, v), nil
+}
+
+// QueryChecked returns the shortest-path distance between two original
+// vertices, validating the pair first; see Oracle.QueryChecked.
+func (a *EarAPSP) QueryChecked(x, y int32) (graph.Weight, error) {
+	if err := checkPair("Query", x, y, a.G.NumVertices()); err != nil {
+		return Inf, err
+	}
+	return a.Query(x, y), nil
+}
+
+// QueryChecked returns d_G(u, v) from the partition tables, validating the
+// pair first; see Oracle.QueryChecked.
+func (d *Djidjev) QueryChecked(u, v int32) (graph.Weight, error) {
+	if err := checkPair("Query", u, v, d.G.NumVertices()); err != nil {
+		return Inf, err
+	}
+	return d.Query(u, v), nil
+}

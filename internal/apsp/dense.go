@@ -24,8 +24,14 @@ func NewFloydWarshall(g *graph.Graph) *Dense {
 	return NewDense(g.NumVertices(), FloydWarshall(g))
 }
 
-// Query returns the tabulated distance.
-func (d *Dense) Query(u, v int32) graph.Weight { return d.Table[int(u)*d.N+int(v)] }
+// Query returns the tabulated distance, or Inf when either vertex is out
+// of range (matching the panic-free contract of the structured oracles).
+func (d *Dense) Query(u, v int32) graph.Weight {
+	if u < 0 || int(u) >= d.N || v < 0 || int(v) >= d.N {
+		return Inf
+	}
+	return d.Table[int(u)*d.N+int(v)]
+}
 
 // Row copies the distances from u into out and returns the operation count,
 // matching the EarAPSP/Djidjev Row contract.

@@ -129,6 +129,9 @@ func (d *Djidjev) bAt(i, j int32) graph.Weight {
 // Query returns d_G(u, v): the in-part distance when u and v share a part,
 // minimised against every boundary-to-boundary route.
 func (d *Djidjev) Query(u, v int32) graph.Weight {
+	if u < 0 || int(u) >= d.G.NumVertices() || v < 0 || int(v) >= d.G.NumVertices() {
+		return Inf
+	}
 	if u == v {
 		return 0
 	}

@@ -1,0 +1,41 @@
+package apsp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the checked query surface. Callers match them with
+// errors.Is after unwrapping the *QueryError that carries the offending
+// query.
+var (
+	// ErrVertexRange reports a vertex ID outside [0, n).
+	ErrVertexRange = errors.New("vertex out of range")
+	// ErrReconstruction reports that greedy path reconstruction and its
+	// exact Dijkstra fallback both failed — an internal invariant
+	// violation that indicates a corrupted oracle, never a bad query.
+	ErrReconstruction = errors.New("path reconstruction failed")
+)
+
+// QueryError wraps a query-surface failure with the offending query so a
+// serving layer can log or return it without string parsing.
+type QueryError struct {
+	Op   string // "Query" or "Path"
+	U, V int32  // the offending pair, as supplied by the caller
+	N    int    // vertex count of the underlying graph
+	Err  error  // ErrVertexRange or ErrReconstruction
+}
+
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("apsp: %s(%d, %d) on %d-vertex graph: %v", e.Op, e.U, e.V, e.N, e.Err)
+}
+
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// checkPair validates a query pair against the vertex range.
+func checkPair(op string, u, v int32, n int) error {
+	if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+		return &QueryError{Op: op, U: u, V: v, N: n, Err: ErrVertexRange}
+	}
+	return nil
+}

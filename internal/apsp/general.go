@@ -6,6 +6,7 @@ import (
 	"repro/internal/bcc"
 	"repro/internal/graph"
 	"repro/internal/hetero"
+	"repro/internal/obs"
 	"repro/internal/sssp"
 )
 
@@ -60,6 +61,11 @@ type Oracle struct {
 
 	// Relaxations is the total shortest-path work of construction.
 	Relaxations int64
+
+	// BuildPhases times the construction phases of this oracle
+	// (bcc/blocks/forest/aptable); the same durations accumulate into
+	// obs.Default under "apsp.build" for process-wide export.
+	BuildPhases *obs.Phases
 }
 
 // NewOracle builds the oracle sequentially.
@@ -76,9 +82,13 @@ func NewOracleParallel(g *graph.Graph, workers int) *Oracle {
 }
 
 func newOracle(g *graph.Graph, mk func(*graph.Graph) *EarAPSP) *Oracle {
+	phases := &obs.Phases{}
+	stop := phases.Start("bcc")
 	dec := bcc.Compute(g)
 	bct := bcc.BuildBlockCutTree(g, dec)
-	o := &Oracle{G: g, Dec: dec, BCT: bct, numA: len(bct.CutVertices)}
+	stop()
+	o := &Oracle{G: g, Dec: dec, BCT: bct, numA: len(bct.CutVertices), BuildPhases: phases}
+	stop = phases.Start("blocks")
 	subs := dec.Subgraphs(g)
 	o.Blocks = make([]*BlockAPSP, len(subs))
 	for i, sub := range subs {
@@ -90,8 +100,19 @@ func newOracle(g *graph.Graph, mk func(*graph.Graph) *EarAPSP) *Oracle {
 		o.Relaxations += blk.Ear.Relaxations
 		o.Blocks[i] = blk
 	}
+	stop()
+	stop = phases.Start("forest")
 	o.buildForest()
+	stop()
+	stop = phases.Start("aptable")
 	o.buildAPTable()
+	stop()
+	global := obs.Default.Phases("apsp.build")
+	for _, name := range []string{"bcc", "blocks", "forest", "aptable"} {
+		global.Record(name, phases.Get(name))
+	}
+	obs.Default.Counter("apsp.builds").Inc()
+	obs.Default.Counter("apsp.build.relaxations").Add(o.Relaxations)
 	return o
 }
 
@@ -234,8 +255,12 @@ func (o *Oracle) buildAPTable() {
 // apAt reads the AP table.
 func (o *Oracle) apAt(i, j int32) graph.Weight { return o.A[int(i)*o.numA+int(j)] }
 
-// Query returns d_G(u, v) for arbitrary vertices.
+// Query returns d_G(u, v) for arbitrary vertices. Out-of-range vertices
+// report Inf; use QueryChecked to surface them as errors instead.
 func (o *Oracle) Query(u, v int32) graph.Weight {
+	if u < 0 || int(u) >= o.G.NumVertices() || v < 0 || int(v) >= o.G.NumVertices() {
+		return Inf
+	}
 	if u == v {
 		return 0
 	}

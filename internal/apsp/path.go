@@ -1,10 +1,9 @@
 package apsp
 
 import (
-	"fmt"
-
 	"repro/internal/ear"
 	"repro/internal/graph"
+	"repro/internal/sssp"
 )
 
 // This file adds shortest *path* reconstruction on top of the
@@ -13,62 +12,150 @@ import (
 // per-pair storage by greedy next-hop walks over those tables, expanding
 // each reduced edge back into its degree-2 chain and each block-cut hop
 // into an in-block walk.
+//
+// The greedy descent relies on the Bellman equality d(cur, t) =
+// w(cur, v) + d(v, t) holding for some neighbour v. The table entries are
+// float sums computed by independent per-source Dijkstra runs, so on
+// non-integral weights the two sides can disagree by a few ULPs; ties and
+// zero-weight plateaus can additionally stall the descent. The walk
+// therefore (a) accepts next hops within a relative tolerance, (b) re-reads
+// the remaining distance from the table instead of maintaining it by
+// subtraction, (c) bounds the number of steps, and (d) falls back to an
+// exact Dijkstra run with parent pointers when the greedy walk still fails.
+// Reconstruction never panics; all failures surface as *QueryError.
+
+// pathTol returns the acceptance tolerance for a greedy step at remaining
+// distance r: generous enough to absorb ULP drift from differently
+// associated float sums, far below any real weight difference.
+func pathTol(r graph.Weight) graph.Weight {
+	if r < 0 {
+		r = -r
+	}
+	return 1e-9 * (1 + r)
+}
 
 // Path returns the vertices of a shortest x→y walk in the original graph,
-// including both endpoints, or nil if y is unreachable from x.
+// including both endpoints, or nil if y is unreachable from x or either
+// vertex is out of range. Use PathChecked to distinguish those cases.
 func (a *EarAPSP) Path(x, y int32) []int32 {
+	w, err := a.PathChecked(x, y)
+	if err != nil {
+		return nil
+	}
+	return w
+}
+
+// PathChecked is Path with validation: it returns ErrVertexRange (wrapped
+// in *QueryError) for out-of-range vertices, (nil, nil) when y is
+// unreachable from x, and otherwise the walk. It is safe for concurrent
+// callers.
+func (a *EarAPSP) PathChecked(x, y int32) ([]int32, error) {
+	if err := checkPair("Path", x, y, a.G.NumVertices()); err != nil {
+		return nil, err
+	}
 	if x == y {
-		return []int32{x}
+		return []int32{x}, nil
 	}
 	if a.Query(x, y) >= Inf {
-		return nil
+		return nil, nil
 	}
 	red := a.Red
 	kx, ky := red.OrigToKept[x], red.OrigToKept[y]
+	var (
+		w   []int32
+		err error
+	)
 	switch {
 	case kx >= 0 && ky >= 0:
-		return a.keptPath(kx, ky)
+		w, err = a.keptPath(kx, ky)
 	case kx >= 0:
 		// walk from the kept side and reverse
-		return reverseWalk(a.removedToKeptPath(y, kx))
+		w, err = a.removedToKeptPath(y, kx)
+		w = reverseWalk(w)
 	case ky >= 0:
-		return a.removedToKeptPath(x, ky)
+		w, err = a.removedToKeptPath(x, ky)
+	default:
+		w, err = a.removedPairPath(x, y)
 	}
-	return a.removedPairPath(x, y)
+	if err != nil {
+		return nil, &QueryError{Op: "Path", U: x, V: y, N: a.G.NumVertices(), Err: ErrReconstruction}
+	}
+	return w, nil
 }
 
 // keptPath reconstructs the walk between two kept vertices: a greedy
 // next-hop descent on the reduced graph, with every reduced edge expanded
-// to its chain.
-func (a *EarAPSP) keptPath(kx, ky int32) []int32 {
+// to its chain. On greedy failure it falls back to keptPathExact.
+func (a *EarAPSP) keptPath(kx, ky int32) ([]int32, error) {
 	out := []int32{a.Red.KeptToOrig[kx]}
 	cur := kx
 	r := a.Red.R
 	adjNode, adjEdge := r.AdjNode(), r.AdjEdge()
-	remaining := a.srAt(kx, ky)
-	for cur != ky {
+	// A greedy walk that makes progress visits each reduced vertex at most
+	// once; anything longer is a plateau oscillation.
+	for steps := 0; cur != ky; steps++ {
+		if steps > a.nr {
+			return a.keptPathExact(kx, ky)
+		}
+		remaining := a.srAt(cur, ky)
 		lo, hi := r.AdjacencyRange(cur)
 		best := int32(-1)
 		bestEdge := int32(-1)
 		bestVal := Inf
+		bestDist := Inf
+		tol := pathTol(remaining)
 		for i := lo; i < hi; i++ {
 			v, eid := adjNode[i], adjEdge[i]
-			val := r.Edge(eid).W + a.srAt(v, ky)
-			if val < bestVal {
+			dv := a.srAt(v, ky)
+			val := r.Edge(eid).W + dv
+			if val > remaining+tol {
+				continue // not on a shortest path
+			}
+			// Prefer the hop that lowers the remaining distance the most so
+			// zero-weight ties cannot stall the walk; break residual ties by
+			// the cheaper step.
+			if dv < bestDist || (dv == bestDist && val < bestVal) {
+				bestDist = dv
 				bestVal = val
 				best = v
 				bestEdge = eid
 			}
 		}
-		if best < 0 || bestVal > remaining {
-			panic(fmt.Sprintf("apsp: path reconstruction stuck at reduced vertex %d (remaining %v, best %v)",
-				cur, remaining, bestVal))
+		if best < 0 {
+			return a.keptPathExact(kx, ky)
 		}
 		appendChainWalk(&out, a.Red, bestEdge, a.Red.KeptToOrig[cur])
-		remaining -= r.Edge(bestEdge).W
 		cur = best
 	}
-	return out
+	return out, nil
+}
+
+// keptPathExact recomputes the kx→ky walk with a fresh Dijkstra run on the
+// reduced graph — the exact fallback when table-driven greedy descent is
+// defeated by float drift or zero-weight plateaus. It allocates per call
+// and is only reached on degenerate inputs.
+func (a *EarAPSP) keptPathExact(kx, ky int32) ([]int32, error) {
+	res := sssp.Dijkstra(a.Red.R, kx, nil)
+	if res.Dist[ky] >= Inf {
+		return nil, ErrReconstruction
+	}
+	var redEdges []int32
+	for v := ky; v != kx; v = res.Parent[v] {
+		redEdges = append(redEdges, res.ParentEdge[v])
+	}
+	out := []int32{a.Red.KeptToOrig[kx]}
+	cur := kx
+	for i := len(redEdges) - 1; i >= 0; i-- {
+		eid := redEdges[i]
+		appendChainWalk(&out, a.Red, eid, a.Red.KeptToOrig[cur])
+		e := a.Red.R.Edge(eid)
+		if e.U == cur {
+			cur = e.V
+		} else {
+			cur = e.U
+		}
+	}
+	return out, nil
 }
 
 // appendChainWalk expands reduced edge eid starting from original vertex
@@ -87,7 +174,7 @@ func appendChainWalk(out *[]int32, red *ear.Reduced, eid int32, from int32) {
 
 // removedToKeptPath builds the walk from removed vertex x to kept vertex
 // (reduced ID kv).
-func (a *EarAPSP) removedToKeptPath(x int32, kv int32) []int32 {
+func (a *EarAPSP) removedToKeptPath(x int32, kv int32) ([]int32, error) {
 	red := a.Red
 	ax, bx, dax, dbx := red.Anchors(x)
 	ci := red.ChainOf[x]
@@ -98,19 +185,25 @@ func (a *EarAPSP) removedToKeptPath(x int32, kv int32) []int32 {
 	var out []int32
 	if viaA <= viaB {
 		out = append([]int32{}, c.SegmentToA(pos)...)
-		rest := a.keptPath(red.OrigToKept[ax], kv)
+		rest, err := a.keptPath(red.OrigToKept[ax], kv)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, rest[1:]...)
 	} else {
 		out = append([]int32{}, c.SegmentToB(pos)...)
-		rest := a.keptPath(red.OrigToKept[bx], kv)
+		rest, err := a.keptPath(red.OrigToKept[bx], kv)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, rest[1:]...)
 	}
-	return out
+	return out, nil
 }
 
 // removedPairPath handles two removed vertices: the four anchor routes and
 // the direct along-chain walk when they share a chain.
-func (a *EarAPSP) removedPairPath(x, y int32) []int32 {
+func (a *EarAPSP) removedPairPath(x, y int32) ([]int32, error) {
 	red := a.Red
 	ax, bx, dax, dbx := red.Anchors(x)
 	ay, by, day, dby := red.Anchors(y)
@@ -142,10 +235,10 @@ func (a *EarAPSP) removedPairPath(x, y int32) []int32 {
 		consider(route{cost: direct, sameWalk: true})
 	}
 	if best.cost >= Inf {
-		return nil
+		return nil, nil
 	}
 	if best.sameWalk {
-		return cx.SegmentBetween(px, py)
+		return cx.SegmentBetween(px, py), nil
 	}
 	var out []int32
 	if best.xToA {
@@ -153,7 +246,10 @@ func (a *EarAPSP) removedPairPath(x, y int32) []int32 {
 	} else {
 		out = append(out, cx.SegmentToB(px)...)
 	}
-	mid := a.keptPath(best.anchorX, best.anchorY)
+	mid, err := a.keptPath(best.anchorX, best.anchorY)
+	if err != nil {
+		return nil, err
+	}
 	out = append(out, mid[1:]...)
 	// enter y's chain from the chosen endpoint and walk to y
 	var entry []int32
@@ -163,7 +259,7 @@ func (a *EarAPSP) removedPairPath(x, y int32) []int32 {
 		entry = reverseWalk(cy.SegmentToB(py)) // B ... y
 	}
 	out = append(out, entry[1:]...)
-	return out
+	return out, nil
 }
 
 func reverseWalk(w []int32) []int32 {
@@ -176,20 +272,45 @@ func reverseWalk(w []int32) []int32 {
 
 // Path returns a shortest u→v walk in the full graph, stitched across
 // biconnected components through the gateway articulation points, or nil
-// if v is unreachable.
+// if v is unreachable or either vertex is out of range. Use PathChecked to
+// distinguish those cases.
 func (o *Oracle) Path(u, v int32) []int32 {
-	if u == v {
-		return []int32{u}
-	}
-	if o.Query(u, v) >= Inf {
+	w, err := o.PathChecked(u, v)
+	if err != nil {
 		return nil
 	}
+	return w
+}
+
+// PathChecked is Path with validation: it returns ErrVertexRange (wrapped
+// in *QueryError) for out-of-range vertices, (nil, nil) when v is
+// unreachable from u, and otherwise the walk. It is safe for concurrent
+// callers.
+func (o *Oracle) PathChecked(u, v int32) ([]int32, error) {
+	if err := checkPair("Path", u, v, o.G.NumVertices()); err != nil {
+		return nil, err
+	}
+	if u == v {
+		return []int32{u}, nil
+	}
+	if o.Query(u, v) >= Inf {
+		return nil, nil
+	}
+	w, err := o.path(u, v)
+	if err != nil {
+		return nil, &QueryError{Op: "Path", U: u, V: v, N: o.G.NumVertices(), Err: ErrReconstruction}
+	}
+	return w, nil
+}
+
+func (o *Oracle) path(u, v int32) ([]int32, error) {
 	iu, iv := o.BCT.CutIndex[u], o.BCT.CutIndex[v]
 	switch {
 	case iu >= 0 && iv >= 0:
 		return o.apPath(iu, iv)
 	case iu >= 0:
-		return reverseWalk(o.regularToAPPath(v, iu))
+		w, err := o.regularToAPPath(v, iu)
+		return reverseWalk(w), err
 	case iv >= 0:
 		return o.regularToAPPath(u, iv)
 	}
@@ -199,16 +320,25 @@ func (o *Oracle) Path(u, v int32) []int32 {
 	}
 	a1 := o.gatewayCut(bu, bv)
 	a2 := o.gatewayCut(bv, bu)
-	out := o.blockPath(bu, u, o.BCT.CutVertices[a1])
-	mid := o.apPath(a1, a2)
+	out, err := o.blockPath(bu, u, o.BCT.CutVertices[a1])
+	if err != nil {
+		return nil, err
+	}
+	mid, err := o.apPath(a1, a2)
+	if err != nil {
+		return nil, err
+	}
 	out = append(out, mid[1:]...)
-	tail := o.blockPath(bv, o.BCT.CutVertices[a2], v)
-	return append(out, tail[1:]...)
+	tail, err := o.blockPath(bv, o.BCT.CutVertices[a2], v)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, tail[1:]...), nil
 }
 
 // regularToAPPath walks from regular vertex v... to articulation point ia,
 // returned in v→AP order.
-func (o *Oracle) regularToAPPath(v int32, ia int32) []int32 {
+func (o *Oracle) regularToAPPath(v int32, ia int32) ([]int32, error) {
 	bv := o.BCT.BlockOf[v]
 	apVertex := o.BCT.CutVertices[ia]
 	blk := o.Blocks[bv]
@@ -216,53 +346,132 @@ func (o *Oracle) regularToAPPath(v int32, ia int32) []int32 {
 		return o.blockPath(bv, v, apVertex)
 	}
 	a2 := o.gatewayCut(bv, int32(len(o.Blocks))+ia)
-	out := o.blockPath(bv, v, o.BCT.CutVertices[a2])
-	mid := o.apPath(a2, ia)
-	return append(out, mid[1:]...)
+	out, err := o.blockPath(bv, v, o.BCT.CutVertices[a2])
+	if err != nil {
+		return nil, err
+	}
+	mid, err := o.apPath(a2, ia)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, mid[1:]...), nil
 }
 
 // blockPath answers an in-block path in parent vertex IDs.
-func (o *Oracle) blockPath(bi int32, u, v int32) []int32 {
+func (o *Oracle) blockPath(bi int32, u, v int32) ([]int32, error) {
 	blk := o.Blocks[bi]
-	lu := blk.localOf[u]
-	lv := blk.localOf[v]
-	local := blk.Ear.Path(lu, lv)
+	lu, ok1 := blk.localOf[u]
+	lv, ok2 := blk.localOf[v]
+	if !ok1 || !ok2 {
+		return nil, ErrReconstruction
+	}
+	local, err := blk.Ear.keptOrAnyPath(lu, lv)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]int32, len(local))
 	for i, x := range local {
 		out[i] = blk.Sub.ToParentVertex[x]
 	}
-	return out
+	return out, nil
+}
+
+// keptOrAnyPath is the in-block entry point of blockPath: the same case
+// analysis as PathChecked without re-validating the pair.
+func (a *EarAPSP) keptOrAnyPath(x, y int32) ([]int32, error) {
+	if x == y {
+		return []int32{x}, nil
+	}
+	if a.Query(x, y) >= Inf {
+		return nil, ErrReconstruction
+	}
+	red := a.Red
+	kx, ky := red.OrigToKept[x], red.OrigToKept[y]
+	switch {
+	case kx >= 0 && ky >= 0:
+		return a.keptPath(kx, ky)
+	case kx >= 0:
+		w, err := a.removedToKeptPath(y, kx)
+		return reverseWalk(w), err
+	case ky >= 0:
+		return a.removedToKeptPath(x, ky)
+	}
+	return a.removedPairPath(x, y)
 }
 
 // apPath reconstructs the articulation-point-level walk by greedy next-hop
 // descent on the AP graph, expanding each AP edge through its contributing
-// block.
-func (o *Oracle) apPath(ia, ib int32) []int32 {
+// block. On greedy failure it falls back to apPathExact.
+func (o *Oracle) apPath(ia, ib int32) ([]int32, error) {
 	out := []int32{o.BCT.CutVertices[ia]}
 	cur := ia
 	g := o.apGraph
 	adjNode, adjEdge := g.AdjNode(), g.AdjEdge()
-	for cur != ib {
+	for steps := 0; cur != ib; steps++ {
+		if steps > o.numA {
+			return o.apPathExact(ia, ib)
+		}
+		remaining := o.apAt(cur, ib)
 		lo, hi := g.AdjacencyRange(cur)
 		best := int32(-1)
 		bestEdge := int32(-1)
 		bestVal := Inf
+		bestDist := Inf
+		tol := pathTol(remaining)
 		for i := lo; i < hi; i++ {
 			nb, eid := adjNode[i], adjEdge[i]
-			val := g.Edge(eid).W + o.apAt(nb, ib)
-			if val < bestVal {
+			dnb := o.apAt(nb, ib)
+			val := g.Edge(eid).W + dnb
+			if val > remaining+tol {
+				continue
+			}
+			if dnb < bestDist || (dnb == bestDist && val < bestVal) {
+				bestDist = dnb
 				bestVal = val
 				best = nb
 				bestEdge = eid
 			}
 		}
-		if best < 0 || bestVal > o.apAt(cur, ib) {
-			panic(fmt.Sprintf("apsp: AP path reconstruction stuck at %d", cur))
+		if best < 0 {
+			return o.apPathExact(ia, ib)
 		}
 		blk := o.apEdgeBlock[bestEdge]
-		seg := o.blockPath(blk, o.BCT.CutVertices[cur], o.BCT.CutVertices[best])
+		seg, err := o.blockPath(blk, o.BCT.CutVertices[cur], o.BCT.CutVertices[best])
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, seg[1:]...)
 		cur = best
 	}
-	return out
+	return out, nil
+}
+
+// apPathExact recomputes the AP-level walk with a fresh Dijkstra run on
+// the AP graph — the exact fallback mirroring keptPathExact.
+func (o *Oracle) apPathExact(ia, ib int32) ([]int32, error) {
+	res := sssp.Dijkstra(o.apGraph, ia, nil)
+	if res.Dist[ib] >= Inf {
+		return nil, ErrReconstruction
+	}
+	var hops []int32 // AP-graph edge IDs from ib back to ia
+	for v := ib; v != ia; v = res.Parent[v] {
+		hops = append(hops, res.ParentEdge[v])
+	}
+	out := []int32{o.BCT.CutVertices[ia]}
+	cur := ia
+	for i := len(hops) - 1; i >= 0; i-- {
+		eid := hops[i]
+		e := o.apGraph.Edge(eid)
+		next := e.U
+		if next == cur {
+			next = e.V
+		}
+		seg, err := o.blockPath(o.apEdgeBlock[eid], o.BCT.CutVertices[cur], o.BCT.CutVertices[next])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, seg[1:]...)
+		cur = next
+	}
+	return out, nil
 }

@@ -1,0 +1,122 @@
+package apsp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Regression: greedy next-hop reconstruction used to panic ("path
+// reconstruction stuck") when the Bellman equality d(cur,t) = w + d(v,t)
+// failed by a few ULPs on non-integral weights, because per-source
+// Dijkstra rows sum the same edge weights in different association orders.
+// This witness was minimised with internal/check's ddmin harness from a
+// float-weighted cycle-necklace corpus graph: a 6-vertex path whose
+// articulation-table rows disagree by one ULP, which drove the old
+// apPath greedy check into the panic at the first hop.
+func stuckWitness() *graph.Graph {
+	return graph.FromEdges(6, []graph.Edge{
+		{U: 0, V: 1, W: 0.2},
+		{U: 1, V: 4, W: 0.1},
+		{U: 2, V: 3, W: 0.2},
+		{U: 3, V: 5, W: 0.5},
+		{U: 5, V: 0, W: 0.2},
+	})
+}
+
+func TestPathReconstructionULPWitness(t *testing.T) {
+	g := stuckWitness()
+	o := NewOracle(g)
+	n := int32(g.NumVertices())
+	for u := int32(0); u < n; u++ {
+		for v := int32(0); v < n; v++ {
+			d, err := o.QueryChecked(u, v)
+			if err != nil {
+				t.Fatalf("QueryChecked(%d,%d): %v", u, v, err)
+			}
+			w, err := o.PathChecked(u, v)
+			if err != nil {
+				t.Fatalf("PathChecked(%d,%d): %v", u, v, err)
+			}
+			if d >= Inf {
+				if w != nil {
+					t.Fatalf("PathChecked(%d,%d): unreachable but got %v", u, v, w)
+				}
+				continue
+			}
+			if len(w) == 0 || w[0] != u || w[len(w)-1] != v {
+				t.Fatalf("PathChecked(%d,%d): bad walk %v", u, v, w)
+			}
+			var sum graph.Weight
+			for i := 0; i+1 < len(w); i++ {
+				found := Inf
+				g.Neighbors(w[i], func(nb, eid int32) bool {
+					if nb == w[i+1] && g.Edge(eid).W < found {
+						found = g.Edge(eid).W
+					}
+					return true
+				})
+				if found >= Inf {
+					t.Fatalf("PathChecked(%d,%d): step %d–%d not an edge", u, v, w[i], w[i+1])
+				}
+				sum += found
+			}
+			if math.Abs(sum-d) > 1e-9*(1+math.Abs(d)) {
+				t.Fatalf("PathChecked(%d,%d): walk weight %v, query %v", u, v, sum, d)
+			}
+		}
+	}
+}
+
+func TestCheckedQueryRejectsBadVertices(t *testing.T) {
+	g := stuckWitness()
+	o := NewOracle(g)
+	for _, pair := range [][2]int32{{-1, 0}, {0, 6}, {100, -3}} {
+		if _, err := o.QueryChecked(pair[0], pair[1]); !errors.Is(err, ErrVertexRange) {
+			t.Fatalf("QueryChecked(%d,%d): err = %v, want ErrVertexRange", pair[0], pair[1], err)
+		}
+		var qe *QueryError
+		_, err := o.PathChecked(pair[0], pair[1])
+		if !errors.As(err, &qe) || !errors.Is(err, ErrVertexRange) {
+			t.Fatalf("PathChecked(%d,%d): err = %v, want *QueryError{ErrVertexRange}", pair[0], pair[1], err)
+		}
+		if qe.U != pair[0] || qe.V != pair[1] {
+			t.Fatalf("QueryError carries (%d,%d), want (%d,%d)", qe.U, qe.V, pair[0], pair[1])
+		}
+	}
+	// The unchecked surface degrades to Inf/nil instead of panicking.
+	if d := o.Query(-5, 2); d < Inf {
+		t.Fatalf("Query(-5,2) = %v, want Inf", d)
+	}
+	if w := o.Path(2, 99); w != nil {
+		t.Fatalf("Path(2,99) = %v, want nil", w)
+	}
+}
+
+// Zero-weight plateaus used to be able to stall the greedy descent
+// (oscillating between equal-distance vertices); the step bound plus the
+// exact Dijkstra fallback now terminates them.
+func TestPathZeroWeightPlateau(t *testing.T) {
+	// K4 with all-zero weights: every vertex kept, every distance 0.
+	var edges []graph.Edge
+	for u := int32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			edges = append(edges, graph.Edge{U: u, V: v, W: 0})
+		}
+	}
+	g := graph.FromEdges(4, edges)
+	o := NewOracle(g)
+	for u := int32(0); u < 4; u++ {
+		for v := int32(0); v < 4; v++ {
+			w, err := o.PathChecked(u, v)
+			if err != nil {
+				t.Fatalf("PathChecked(%d,%d): %v", u, v, err)
+			}
+			if len(w) == 0 || w[0] != u || w[len(w)-1] != v {
+				t.Fatalf("PathChecked(%d,%d): bad walk %v", u, v, w)
+			}
+		}
+	}
+}

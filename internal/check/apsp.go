@@ -38,15 +38,36 @@ func (d *Divergence) Error() string {
 	return s
 }
 
+// CheckedQuerier is the optional error-returning query surface; oracles
+// that provide it get their checked variant differentially tested too.
+type CheckedQuerier interface {
+	QueryChecked(u, v int32) (graph.Weight, error)
+}
+
 // firstDivergence compares o against the reference table ref (n×n,
-// row-major) over every ordered pair and returns the first mismatch.
+// row-major) over every ordered pair and returns the first mismatch. When
+// o also implements CheckedQuerier, QueryChecked must agree with Query and
+// return no error on valid pairs, and must reject an out-of-range probe.
 func firstDivergence(o Oracle, ref []graph.Weight, n int) (u, v int32, got, want graph.Weight, ok bool) {
+	co, checked := o.(CheckedQuerier)
 	for s := 0; s < n; s++ {
 		row := ref[s*n : (s+1)*n]
 		for t := 0; t < n; t++ {
-			if g := o.Query(int32(s), int32(t)); g != row[t] {
+			g := o.Query(int32(s), int32(t))
+			if g != row[t] {
 				return int32(s), int32(t), g, row[t], true
 			}
+			if checked {
+				cg, err := co.QueryChecked(int32(s), int32(t))
+				if err != nil || cg != g {
+					return int32(s), int32(t), cg, g, true
+				}
+			}
+		}
+	}
+	if checked && n > 0 {
+		if _, err := co.QueryChecked(-1, int32(n)); err == nil {
+			return -1, int32(n), 0, 0, true
 		}
 	}
 	return 0, 0, 0, 0, false

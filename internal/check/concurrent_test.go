@@ -1,0 +1,72 @@
+package check
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/apsp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestOracleConcurrentQueries hammers a single oracle from many goroutines
+// under -race: the oracle is immutable after build, so concurrent
+// QueryChecked/PathChecked calls (including out-of-range probes) must be
+// data-race free and keep agreeing with the Floyd–Warshall reference.
+func TestOracleConcurrentQueries(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 9}
+	rng := gen.NewRNG(0xbadcafe)
+	g := gen.ChainBlocks([]*graph.Graph{
+		gen.CycleNecklace(3, 3, cfg, rng),
+		gen.Theta([]int{2, 3, 4}, cfg, rng),
+		gen.LoopFlower(2, 3, cfg, rng),
+	}, cfg, rng)
+	g = gen.Subdivide(g, 0.5, 2, cfg, rng)
+
+	o := apsp.NewOracle(g)
+	ref := apsp.FloydWarshall(g)
+	n := int32(g.NumVertices())
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker sweeps all pairs in a different order and mixes
+			// in out-of-range probes so validation runs concurrently too.
+			for i := int32(0); i < n; i++ {
+				u := (i + int32(w)) % n
+				for v := int32(0); v < n; v++ {
+					d, err := o.QueryChecked(u, v)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if want := ref[int(u)*int(n)+int(v)]; d != want {
+						errs <- &Divergence{Impl: "oracle(concurrent)", U: u, V: v, Got: d, Want: want}
+						return
+					}
+					if perr := pairPath(g, o, u, v); perr != nil {
+						errs <- perr
+						return
+					}
+				}
+				if _, err := o.QueryChecked(-1, n); err == nil {
+					errs <- &Divergence{Impl: "oracle(concurrent): range probe accepted", U: -1, V: n}
+					return
+				}
+				if _, err := o.PathChecked(n, -1); err == nil {
+					errs <- &Divergence{Impl: "oracle(concurrent): range probe accepted", U: n, V: -1}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apsp"
+	"repro/internal/graph"
+)
+
+// PathOracle is an oracle that can also reconstruct shortest walks through
+// the checked, error-returning surface.
+type PathOracle interface {
+	Oracle
+	QueryChecked(u, v int32) (graph.Weight, error)
+	PathChecked(u, v int32) ([]int32, error)
+}
+
+// walkWeight sums the cheapest edge per hop, or returns an error if some
+// hop is not an edge of g.
+func walkWeight(g *graph.Graph, walk []int32) (graph.Weight, error) {
+	var total graph.Weight
+	for i := 0; i+1 < len(walk); i++ {
+		u, v := walk[i], walk[i+1]
+		best := apsp.Inf
+		g.Neighbors(u, func(nb, eid int32) bool {
+			if nb == v && g.Edge(eid).W < best {
+				best = g.Edge(eid).W
+			}
+			return true
+		})
+		if best >= apsp.Inf {
+			return 0, fmt.Errorf("step %d: %d–%d is not an edge", i, u, v)
+		}
+		total += best
+	}
+	return total, nil
+}
+
+// weightsAgree compares a reconstructed walk weight against the queried
+// distance with a relative tolerance, because on non-integral weights the
+// two are float sums of the same edge multiset in different association
+// orders.
+func weightsAgree(a, b graph.Weight) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// pairPath exercises one (u, v) pair of the checked path surface and
+// returns a descriptive error on any contract violation: a panic, an
+// unexpected error, a broken walk, wrong endpoints, or a walk weight that
+// disagrees with the queried distance.
+func pairPath(g *graph.Graph, o PathOracle, u, v int32) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pair (%d,%d): panic: %v", u, v, r)
+		}
+	}()
+	d, qerr := o.QueryChecked(u, v)
+	if qerr != nil {
+		return fmt.Errorf("pair (%d,%d): QueryChecked: %v", u, v, qerr)
+	}
+	w, perr := o.PathChecked(u, v)
+	if perr != nil {
+		return fmt.Errorf("pair (%d,%d): PathChecked: %v", u, v, perr)
+	}
+	if d >= apsp.Inf {
+		if w != nil {
+			return fmt.Errorf("pair (%d,%d): unreachable but path %v returned", u, v, w)
+		}
+		return nil
+	}
+	if len(w) == 0 {
+		return fmt.Errorf("pair (%d,%d): reachable (d=%v) but no path returned", u, v, d)
+	}
+	if w[0] != u || w[len(w)-1] != v {
+		return fmt.Errorf("pair (%d,%d): walk endpoints %d..%d", u, v, w[0], w[len(w)-1])
+	}
+	got, werr := walkWeight(g, w)
+	if werr != nil {
+		return fmt.Errorf("pair (%d,%d): %v", u, v, werr)
+	}
+	if !weightsAgree(got, d) {
+		return fmt.Errorf("pair (%d,%d): walk weight %v, query %v", u, v, got, d)
+	}
+	return nil
+}
+
+// Paths verifies the full checked path-reconstruction surface of the
+// block-cut oracle on g over every ordered pair, plus out-of-range probes.
+// On failure it shrinks g with ddmin to a locally edge-minimal witness and
+// reports both. It returns nil when every pair round-trips.
+func Paths(g *graph.Graph) error {
+	if err := pathsOnce(g); err != nil {
+		witness := MinimizeEdges(g.Edges(), func(edges []graph.Edge) bool {
+			return pathsOnce(graph.FromEdges(g.NumVertices(), edges)) != nil
+		})
+		if witness != nil {
+			h, _ := CompactVertices(graph.FromEdges(g.NumVertices(), witness))
+			werr := pathsOnce(h)
+			if werr != nil {
+				return fmt.Errorf("check: paths: %v [witness: %d vertices, %d edges: %v]",
+					err, h.NumVertices(), h.NumEdges(), h.Edges())
+			}
+		}
+		return fmt.Errorf("check: paths: %v", err)
+	}
+	return nil
+}
+
+// pathsOnce runs the pair sweep without minimisation.
+func pathsOnce(g *graph.Graph) error {
+	o := apsp.NewOracle(g)
+	n := int32(g.NumVertices())
+	for u := int32(0); u < n; u++ {
+		for v := int32(0); v < n; v++ {
+			if err := pairPath(g, o, u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return probeRange(o, int(n))
+}
+
+// probeRange asserts the checked surface rejects out-of-range queries with
+// ErrVertexRange instead of panicking.
+func probeRange(o PathOracle, n int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("out-of-range probe: panic: %v", r)
+		}
+	}()
+	for _, pair := range [][2]int32{{-1, 0}, {0, int32(n)}, {int32(n), -1}} {
+		if _, qerr := o.QueryChecked(pair[0], pair[1]); qerr == nil {
+			return fmt.Errorf("QueryChecked(%d,%d) on %d vertices: no error", pair[0], pair[1], n)
+		}
+		if _, perr := o.PathChecked(pair[0], pair[1]); perr == nil {
+			return fmt.Errorf("PathChecked(%d,%d) on %d vertices: no error", pair[0], pair[1], n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// floatWeights rewrites every edge weight of g to a 0.1-step decimal in
+// (0, 0.8], derived deterministically from the edge index. These weights
+// are not exactly representable in binary, so per-source Dijkstra rows sum
+// them in different association orders and the path tables disagree by
+// ULPs — the condition that used to drive greedy reconstruction into its
+// "stuck" panic.
+func floatWeights(g *graph.Graph, seed uint64) *graph.Graph {
+	rng := gen.NewRNG(seed)
+	edges := g.Edges()
+	out := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		out[i] = graph.Edge{U: e.U, V: e.V, W: 0.1 + float64(rng.Intn(8))*0.1}
+	}
+	return graph.FromEdges(g.NumVertices(), out)
+}
+
+func TestPathsCorpus(t *testing.T) {
+	for _, ng := range Corpus() {
+		if err := Paths(ng.G); err != nil {
+			t.Errorf("%s: %v", ng.Name, err)
+		}
+	}
+}
+
+func TestPathsCorpusFloatWeights(t *testing.T) {
+	for _, ng := range Corpus() {
+		if err := Paths(floatWeights(ng.G, 0xf10a7)); err != nil {
+			t.Errorf("%s-float: %v", ng.Name, err)
+		}
+	}
+}
+
+func TestPathsRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		g := RandomGraph(seed, 18)
+		if err := Paths(g); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if err := Paths(floatWeights(g, seed)); err != nil {
+			t.Errorf("seed %d (float): %v", seed, err)
+		}
+	}
+}
+
+// TestPathsFloatNecklaces pins the family that originally produced the
+// reconstruction panic: float-weighted cycle necklaces and theta graphs,
+// whose long equal-weight detours maximise table ULP drift.
+func TestPathsFloatNecklaces(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 7}
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := gen.NewRNG(seed)
+		for name, g := range map[string]*graph.Graph{
+			"necklace": gen.CycleNecklace(3+int(seed%3), 3+int(seed%2), cfg, rng),
+			"theta":    gen.Theta([]int{2, 3, 3 + int(seed%3)}, cfg, rng),
+		} {
+			if err := Paths(floatWeights(g, seed*31)); err != nil {
+				t.Errorf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}

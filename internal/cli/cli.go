@@ -1,0 +1,91 @@
+// Package cli centralises the conventions shared by the command-line
+// binaries: exit codes (2 for usage errors, 1 for runtime failures),
+// error reporting, flag usage text, and graph input loading. Before this
+// package each binary hand-rolled its own mix — cmd/apsp exited 1 on a
+// malformed -query while cmd/graphgen exited 2 on an unknown -family — so
+// scripts could not distinguish "you called me wrong" from "the work
+// failed".
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+)
+
+// Exit codes shared by every binary.
+const (
+	ExitRuntime = 1 // the requested work failed
+	ExitUsage   = 2 // the invocation itself was wrong
+)
+
+// UsageError marks an error as the caller's fault (bad flag value,
+// missing required input) so Exit maps it to ExitUsage.
+type UsageError struct{ Msg string }
+
+func (e *UsageError) Error() string { return e.Msg }
+
+// Usagef constructs a UsageError.
+func Usagef(format string, args ...interface{}) error {
+	return &UsageError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Exit prints "prog: err" to stderr and exits with ExitUsage when err is
+// (or wraps) a UsageError, ExitRuntime otherwise. Usage errors also point
+// at -h.
+func Exit(prog string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	var ue *UsageError
+	if errors.As(err, &ue) {
+		fmt.Fprintf(os.Stderr, "run %s -h for usage\n", prog)
+		os.Exit(ExitUsage)
+	}
+	os.Exit(ExitRuntime)
+}
+
+// Fatalf reports a runtime failure and exits with ExitRuntime.
+func Fatalf(prog, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, fmt.Sprintf(format, args...))
+	os.Exit(ExitRuntime)
+}
+
+// BadUsage reports a usage error and exits with ExitUsage.
+func BadUsage(prog, format string, args ...interface{}) {
+	Exit(prog, Usagef(format, args...))
+}
+
+// SetUsage installs a flag.Usage that prints a one-line synopsis followed
+// by the flag defaults, so every binary answers -h with the same shape.
+func SetUsage(prog, synopsis string) {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s %s\n", prog, synopsis)
+		flag.PrintDefaults()
+	}
+}
+
+// LoadInput resolves the shared -file/-dataset flag pair into a graph: a
+// file path of any supported format (.mtx, .gr/.dimacs, .earg binary
+// snapshots, edge lists) or a named synthetic dataset at the given scale
+// and seed. Exactly one of file and dataset must be set; violations come
+// back as UsageError so Exit maps them to exit code 2.
+func LoadInput(file, dataset string, scale float64, seed uint64) (*graph.Graph, string, error) {
+	switch {
+	case file != "" && dataset != "":
+		return nil, "", Usagef("use either -file or -dataset, not both")
+	case file != "":
+		g, err := graph.LoadFile(file)
+		return g, file, err
+	case dataset != "":
+		spec, err := datasets.ByName(dataset)
+		if err != nil {
+			return nil, "", Usagef("%v", err)
+		}
+		return spec.Generate(scale, seed), dataset, nil
+	default:
+		return nil, "", Usagef("need -file or -dataset")
+	}
+}

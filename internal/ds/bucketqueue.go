@@ -12,14 +12,28 @@ type BucketQueue struct {
 
 // NewBucketQueue returns a queue accepting keys in [0, maxKey].
 func NewBucketQueue(maxKey int) *BucketQueue {
+	if maxKey < 0 {
+		maxKey = 0
+	}
 	return &BucketQueue{buckets: make([][]int32, maxKey+1)}
 }
 
-// Push inserts item with the given key. Keys already popped (smaller than
-// the current minimum) must not be pushed: the queue is monotone.
+// Push inserts item with the given key. The queue is monotone, but instead
+// of panicking on a key below the current minimum it clamps the key to that
+// minimum: callers deriving integer keys from float distances can produce a
+// key one below cur through rounding (e.g. Dial's int(d) truncation after a
+// chain of near-integral additions), and popping such an item "late" at the
+// current minimum preserves Dijkstra's correctness under lazy deletion —
+// the settled-distance check discards it if it is stale. Keys past the
+// declared maximum grow the bucket array instead of indexing out of range.
 func (q *BucketQueue) Push(item int32, key int) {
 	if key < q.cur {
-		panic("ds: BucketQueue key below current minimum (non-monotone push)")
+		key = q.cur
+	}
+	if key >= len(q.buckets) {
+		grown := make([][]int32, key+1)
+		copy(grown, q.buckets)
+		q.buckets = grown
 	}
 	q.buckets[key] = append(q.buckets[key], item)
 	q.n++

@@ -3,14 +3,20 @@ package ds
 // ChunkedList is the hybrid linked-list-of-arrays store described in
 // Section 3.3.2 of the paper for holding candidate cycles sorted by weight.
 //
-// Each linked-list node holds a fixed-size array of 31-bit payloads. Elements
+// Each linked-list node holds a fixed-size array of payloads. Elements
 // are appended in order (the MCB engine appends cycles sorted by weight) and
-// scanned front to back. Removal marks the element by setting the MSB
-// ("setting off the MSB" in the paper's words); once half the elements of a
-// node are marked, the node is compacted in place so later scans stay dense.
-// This keeps scans cache-friendly (linear array within a node) while removal
-// remains O(1) amortised — the measured middle ground between a plain slice
-// (expensive removals) and a pointer-chasing linked list (expensive scans).
+// scanned front to back. Removal marks the element by setting the MSB of the
+// internal word ("setting off the MSB" in the paper's words); once half the
+// elements of a node are marked, the node is compacted in place so later
+// scans stay dense. This keeps scans cache-friendly (linear array within a
+// node) while removal remains O(1) amortised — the measured middle ground
+// between a plain slice (expensive removals) and a pointer-chasing linked
+// list (expensive scans).
+//
+// Storage is 64-bit with bit 63 as the removal mark, so the full uint32
+// payload range is accepted: earlier revisions reserved bit 31 inside the
+// payload word itself and panicked on payloads ≥ 2³¹, which a large
+// candidate set (edge IDs into a big Horton space) could legitimately hit.
 type ChunkedList struct {
 	head      *chunk
 	tail      *chunk
@@ -18,10 +24,10 @@ type ChunkedList struct {
 	length    int // live (unmarked) elements
 }
 
-const removedBit = uint32(1) << 31
+const removedBit = uint64(1) << 63
 
 type chunk struct {
-	data    []uint32
+	data    []uint64
 	removed int // count of marked elements in this chunk
 	next    *chunk
 }
@@ -38,14 +44,12 @@ func NewChunkedList(chunkSize int) *ChunkedList {
 // Len reports the number of live (not removed) elements.
 func (l *ChunkedList) Len() int { return l.length }
 
-// Append adds a payload to the end of the list. The payload must fit in
-// 31 bits; the MSB is reserved as the removal mark.
+// Append adds a payload to the end of the list. Every uint32 value is a
+// valid payload; the removal mark lives in the upper half of the internal
+// 64-bit word.
 func (l *ChunkedList) Append(v uint32) {
-	if v&removedBit != 0 {
-		panic("ds: ChunkedList payload exceeds 31 bits")
-	}
 	if l.tail == nil || len(l.tail.data) == l.chunkSize {
-		c := &chunk{data: make([]uint32, 0, l.chunkSize)}
+		c := &chunk{data: make([]uint64, 0, l.chunkSize)}
 		if l.tail == nil {
 			l.head, l.tail = c, c
 		} else {
@@ -53,7 +57,7 @@ func (l *ChunkedList) Append(v uint32) {
 			l.tail = c
 		}
 	}
-	l.tail.data = append(l.tail.data, v)
+	l.tail.data = append(l.tail.data, uint64(v))
 	l.length++
 }
 
@@ -75,7 +79,7 @@ func (l *ChunkedList) Scan(visit func(v uint32) bool) (Cursor, bool) {
 			if v&removedBit != 0 {
 				continue
 			}
-			if !visit(v) {
+			if !visit(uint32(v)) {
 				return Cursor{c, i}, true
 			}
 		}
@@ -97,7 +101,7 @@ func (l *ChunkedList) ScanFrom(cur Cursor, visit func(v uint32) bool) (Cursor, b
 			if v&removedBit != 0 {
 				continue
 			}
-			if !visit(v) {
+			if !visit(uint32(v)) {
 				return Cursor{c, i}, true
 			}
 		}
@@ -113,7 +117,7 @@ func (l *ChunkedList) ScanFrom(cur Cursor, visit func(v uint32) bool) (Cursor, b
 // cursor from Scan/ScanFrom before removing again.
 func (l *ChunkedList) Remove(cur Cursor) {
 	c := cur.c
-	if c == nil || c.data[cur.i]&removedBit != 0 {
+	if c == nil || cur.i >= len(c.data) || c.data[cur.i]&removedBit != 0 {
 		return
 	}
 	c.data[cur.i] |= removedBit

@@ -211,16 +211,51 @@ func popBoth(q *BucketQueue, got map[int32]bool) (int32, int) {
 	return i, k
 }
 
-func TestBucketQueueMonotonePanic(t *testing.T) {
+func TestBucketQueueNonMonotonePushClamps(t *testing.T) {
 	q := NewBucketQueue(10)
 	q.Push(0, 5)
-	q.Pop()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("non-monotone push should panic")
-		}
-	}()
+	if item, key := q.Pop(); item != 0 || key != 5 {
+		t.Fatalf("pop got (%d,%d)", item, key)
+	}
+	// A key below the current minimum (float-truncation artifact in Dial)
+	// must not panic: it is clamped to the minimum and popped there.
 	q.Push(1, 2)
+	if item, key := q.Pop(); item != 1 || key != 5 {
+		t.Fatalf("clamped pop got (%d,%d), want (1,5)", item, key)
+	}
+	// A key past the declared maximum grows the bucket array.
+	q.Push(2, 25)
+	if item, key := q.Pop(); item != 2 || key != 25 {
+		t.Fatalf("grown pop got (%d,%d), want (2,25)", item, key)
+	}
+}
+
+// Adversarial float keys: simulate Dial-style int(d) truncation where
+// accumulated near-integral sums round down below the settled minimum.
+// The queue must stay panic-free and drain every item.
+func TestBucketQueueAdversarialFloatKeys(t *testing.T) {
+	q := NewBucketQueue(4)
+	weights := []float64{0.1, 0.2, 0.30000000000000004, 0.7999999999999999}
+	d := 0.0
+	pushed := 0
+	for i, w := range weights {
+		d += w
+		// int() truncates; chains like 0.1+0.2 produce keys that lag the
+		// exact sum and can fall below an already-popped bucket.
+		q.Push(int32(i), int(d))
+		pushed++
+		if i == 1 {
+			q.Pop() // advance cur past the early buckets
+			pushed--
+		}
+	}
+	for pushed > 0 {
+		q.Pop()
+		pushed--
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
 }
 
 func TestChunkedListAppendScan(t *testing.T) {
@@ -311,14 +346,42 @@ func TestChunkedListCompaction(t *testing.T) {
 	}
 }
 
-func TestChunkedListMSBPanic(t *testing.T) {
+// Boundary payloads: the former encoding reserved bit 31 of the payload
+// word and panicked at 2³¹; the widened 64-bit storage must round-trip the
+// full uint32 range, survive removal marking, and keep compaction correct.
+func TestChunkedListFullPayloadRange(t *testing.T) {
+	vals := []uint32{0, 1<<31 - 1, 1 << 31, 1<<31 + 1, math.MaxUint32}
 	l := NewChunkedList(4)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("appending a 32-bit value with MSB set should panic")
+	for _, v := range vals {
+		l.Append(v)
+	}
+	if got := l.Collect(); len(got) != len(vals) {
+		t.Fatalf("collected %d values, want %d", len(got), len(vals))
+	} else {
+		for i, v := range vals {
+			if got[i] != v {
+				t.Fatalf("got[%d] = %d, want %d", i, got[i], v)
+			}
 		}
-	}()
-	l.Append(1 << 31)
+	}
+	// Remove the MSB-set values; marking must not corrupt neighbours.
+	for _, target := range []uint32{1 << 31, math.MaxUint32} {
+		cur, ok := l.Scan(func(x uint32) bool { return x != target })
+		if !ok {
+			t.Fatalf("value %d not found", target)
+		}
+		l.Remove(cur)
+	}
+	got := l.Collect()
+	want := []uint32{0, 1<<31 - 1, 1<<31 + 1}
+	if len(got) != len(want) {
+		t.Fatalf("after removal got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after removal got %v, want %v", got, want)
+		}
+	}
 }
 
 // Property: a chunked list with random interleaved appends and removals

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Schedule is the outcome of running a unit set on the simulated platform.
@@ -93,6 +95,9 @@ func Run(units []Unit, devices []*Device, exec func(u Unit, d *Device) Cost) *Sc
 		}
 		heap.Push(&h, sl)
 	}
+	obs.Default.Counter("hetero.runs").Inc()
+	obs.Default.Counter("hetero.units").Add(int64(len(units)))
+	obs.Default.Counter("hetero.ops").Add(s.TotalOps)
 	return s
 }
 

@@ -1,12 +1,60 @@
 package mcb
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"repro/internal/graph"
 )
 
 // Convenience accessors over a computed basis.
+//
+// The checked variants (CycleChecked, CyclesThroughVertexChecked,
+// VertexSequenceChecked) validate cycle indices, vertex IDs, and edge IDs
+// before touching the graph, so per-query cycle expansion never panics on
+// malformed input — the same panic-free contract as apsp's QueryChecked
+// surface. The unchecked accessors remain for trusted in-process callers.
+
+// Sentinel errors of the checked accessors; wrap-compatible with errors.Is.
+var (
+	// ErrCycleIndex reports a cycle index outside [0, len(Cycles)).
+	ErrCycleIndex = errors.New("cycle index out of range")
+	// ErrVertexRange reports a vertex ID outside [0, n).
+	ErrVertexRange = errors.New("vertex out of range")
+	// ErrEdgeRange reports a basis element referencing an edge ID outside
+	// [0, m) — only possible for externally constructed Results.
+	ErrEdgeRange = errors.New("cycle references edge out of range")
+	// ErrNotClosedWalk reports a basis element that is not a single closed
+	// walk and therefore has no vertex sequence.
+	ErrNotClosedWalk = errors.New("cycle is not a single closed walk")
+)
+
+// CycleChecked returns basis element i after validating the index and, when
+// g is non-nil, every edge ID against g.
+func (r *Result) CycleChecked(g *graph.Graph, i int) (Cycle, error) {
+	if i < 0 || i >= len(r.Cycles) {
+		return Cycle{}, fmt.Errorf("mcb: cycle %d of %d-element basis: %w", i, len(r.Cycles), ErrCycleIndex)
+	}
+	c := r.Cycles[i]
+	if g != nil {
+		if err := checkEdges(g, c); err != nil {
+			return Cycle{}, fmt.Errorf("mcb: cycle %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+// checkEdges validates every edge ID of c against g.
+func checkEdges(g *graph.Graph, c Cycle) error {
+	m := int32(g.NumEdges())
+	for _, eid := range c.Edges {
+		if eid < 0 || eid >= m {
+			return fmt.Errorf("edge %d on %d-edge graph: %w", eid, m, ErrEdgeRange)
+		}
+	}
+	return nil
+}
 
 // SortedCycles returns the basis cycles ordered by increasing weight
 // (ties by fewer edges, then insertion order). The Result is not
@@ -55,6 +103,21 @@ func (r *Result) CyclesThroughVertex(g *graph.Graph, v int32) []int {
 	return out
 }
 
+// CyclesThroughVertexChecked is CyclesThroughVertex with vertex and edge
+// ID validation: it rejects v outside [0, n) and basis elements whose edge
+// IDs do not belong to g instead of letting g.Edge panic.
+func (r *Result) CyclesThroughVertexChecked(g *graph.Graph, v int32) ([]int, error) {
+	if v < 0 || int(v) >= g.NumVertices() {
+		return nil, fmt.Errorf("mcb: vertex %d on %d-vertex graph: %w", v, g.NumVertices(), ErrVertexRange)
+	}
+	for ci, c := range r.Cycles {
+		if err := checkEdges(g, c); err != nil {
+			return nil, fmt.Errorf("mcb: cycle %d: %w", ci, err)
+		}
+	}
+	return r.CyclesThroughVertex(g, v), nil
+}
+
 // CyclesThroughEdge returns the basis cycles containing edge eid.
 func (r *Result) CyclesThroughEdge(eid int32) []int {
 	var out []int
@@ -67,6 +130,20 @@ func (r *Result) CyclesThroughEdge(eid int32) []int {
 		}
 	}
 	return out
+}
+
+// VertexSequenceChecked is VertexSequence with edge ID validation and
+// error reporting: it distinguishes out-of-range edge IDs (ErrEdgeRange)
+// from structurally invalid elements (ErrNotClosedWalk).
+func VertexSequenceChecked(g *graph.Graph, c Cycle) ([]int32, error) {
+	if err := checkEdges(g, c); err != nil {
+		return nil, fmt.Errorf("mcb: %w", err)
+	}
+	seq, ok := VertexSequence(g, c)
+	if !ok {
+		return nil, fmt.Errorf("mcb: %d-edge element: %w", len(c.Edges), ErrNotClosedWalk)
+	}
+	return seq, nil
 }
 
 // VertexSequence orders a cycle's vertices by walking its edges; it

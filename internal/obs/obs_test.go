@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("events")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("events").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if p50 := h.Quantile(0.50); p50 > time.Millisecond {
+		t.Fatalf("p50 = %v, want ≤ 1ms", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < time.Millisecond {
+		t.Fatalf("p99 = %v, want ≥ 1ms", p99)
+	}
+	// Extremes must not index out of range.
+	h.Observe(0)
+	h.Observe(-time.Second)
+	h.Observe(24 * time.Hour)
+	if h.Quantile(1.0) <= 0 {
+		t.Fatal("q=1 quantile not positive")
+	}
+	var raw map[string]int64
+	if err := json.Unmarshal([]byte(h.String()), &raw); err != nil {
+		t.Fatalf("histogram String is not JSON: %v", err)
+	}
+}
+
+func TestPhases(t *testing.T) {
+	var p Phases
+	p.Record("bcc", 2*time.Millisecond)
+	p.Record("blocks", 3*time.Millisecond)
+	p.Record("bcc", 1*time.Millisecond) // accumulates
+	if got := p.Get("bcc"); got != 3*time.Millisecond {
+		t.Fatalf("bcc = %v", got)
+	}
+	if got := p.Total(); got != 6*time.Millisecond {
+		t.Fatalf("total = %v", got)
+	}
+	stop := p.Start("aptable")
+	stop()
+	if p.Get("aptable") < 0 {
+		t.Fatal("negative phase duration")
+	}
+	var raw map[string]int64
+	if err := json.Unmarshal([]byte(p.String()), &raw); err != nil {
+		t.Fatalf("phases String is not JSON: %v", err)
+	}
+	if _, ok := raw["bcc_us"]; !ok {
+		t.Fatalf("phases JSON missing bcc_us: %s", p.String())
+	}
+}
+
+func TestRegistryJSONAndPublish(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.requests").Add(3)
+	r.Histogram("a.latency").Observe(time.Millisecond)
+	r.Phases("build").Record("bcc", time.Millisecond)
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(r.String()), &raw); err != nil {
+		t.Fatalf("registry String is not JSON: %v\n%s", err, r.String())
+	}
+	for _, k := range []string{"a.requests", "a.latency", "build"} {
+		if _, ok := raw[k]; !ok {
+			t.Fatalf("registry JSON missing %q: %s", k, r.String())
+		}
+	}
+	// Publishing twice must not panic.
+	r.Publish("obs-test-registry")
+	r.Publish("obs-test-registry")
+}
+
+func TestRegistryConcurrentMixedUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(time.Duration(i) * time.Microsecond)
+				r.Phases("p").Record("x", time.Microsecond)
+				_ = r.String()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 1600 {
+		t.Fatalf("c = %d", r.Counter("c").Value())
+	}
+}
