@@ -11,13 +11,21 @@
 //
 //	curl 'localhost:8080/distance?u=0&v=17'
 //	curl 'localhost:8080/path?u=0&v=17'
+//	curl -d '{"sources":[0,3],"targets":[17,42]}' 'localhost:8080/batch'
 //	curl 'localhost:8080/mcb/cycle?i=0'
 //	curl 'localhost:8080/stats'
 //	curl 'localhost:8080/debug/vars'
 //
-// Request metrics (counters and latency histograms per endpoint, plus the
-// oracle's build-phase timers) are exported under /stats and, via expvar,
-// /debug/vars; /debug/pprof/ serves the standard profiles.
+// Queries are served through the internal/qe engine: per-source distance
+// rows are computed lazily, coalesced across concurrent requests, and kept
+// in an LRU cache; admission control bounds concurrent load and sheds the
+// excess with 503 + Retry-After. Tune with -cache-rows, -max-inflight,
+// -queue-depth, and -deadline.
+//
+// Request metrics (counters and latency histograms per endpoint, the
+// engine's cache/queue counters and gauges, plus the oracle's build-phase
+// timers) are exported under /stats and, via expvar, /debug/vars;
+// /debug/pprof/ serves the standard profiles.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"repro/internal/hetero"
 	"repro/internal/mcb"
 	"repro/internal/obs"
+	"repro/internal/qe"
 )
 
 func main() {
@@ -51,6 +60,7 @@ func main() {
 		snapshot = flag.String("save-snapshot", "", "write the loaded graph as a binary .earg snapshot and continue")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
+	engineCfg := cli.EngineFlags()
 	cli.SetUsage("oracled", "[-file graph | -dataset name] [-addr host:port] [flags]")
 	flag.Parse()
 
@@ -79,7 +89,10 @@ func main() {
 	}
 
 	obs.Default.Publish("obs")
-	s := newServer(g, oracle, basis, obs.Default)
+	cfg := engineCfg()
+	cfg.Reg = obs.Default
+	engine := qe.New(oracle, cfg)
+	s := newServer(g, oracle, basis, engine, obs.Default)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -14,25 +15,36 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcb"
 	"repro/internal/obs"
+	"repro/internal/qe"
+)
+
+// maxBatchBody and maxBatchPairs bound one /batch request: the JSON body
+// size and the N×M result cells it may demand.
+const (
+	maxBatchBody  = 8 << 20
+	maxBatchPairs = 1 << 20
 )
 
 // server is the HTTP face of one built oracle. Everything it reads — the
 // graph, the oracle tables, the optional cycle basis — is immutable after
 // construction, so handlers run concurrently without locking; the only
-// mutable state is the obs metrics, which are atomic.
+// mutable state is the obs metrics (atomic) and the query engine's row
+// cache and admission gauges (internally synchronised).
 type server struct {
 	g      *graph.Graph
 	oracle *apsp.Oracle
 	basis  *mcb.Result
+	engine *qe.Engine
 	reg    *obs.Registry
 	mux    *http.ServeMux
 }
 
-func newServer(g *graph.Graph, oracle *apsp.Oracle, basis *mcb.Result, reg *obs.Registry) *server {
-	s := &server{g: g, oracle: oracle, basis: basis, reg: reg, mux: http.NewServeMux()}
+func newServer(g *graph.Graph, oracle *apsp.Oracle, basis *mcb.Result, engine *qe.Engine, reg *obs.Registry) *server {
+	s := &server{g: g, oracle: oracle, basis: basis, engine: engine, reg: reg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handle("healthz", s.healthz))
 	s.mux.HandleFunc("/distance", s.handle("distance", s.distance))
 	s.mux.HandleFunc("/path", s.handle("path", s.path))
+	s.mux.HandleFunc("/batch", s.handle("batch", s.batch))
 	s.mux.HandleFunc("/mcb/cycle", s.handle("mcb.cycle", s.mcbCycle))
 	s.mux.HandleFunc("/stats", s.handle("stats", s.stats))
 	s.mux.Handle("/debug/vars", expvar.Handler())
@@ -70,8 +82,16 @@ func (s *server) handle(name string, fn func(r *http.Request) (interface{}, erro
 			errs.Inc()
 			status := http.StatusBadRequest
 			var he *httpError
-			if errors.As(err, &he) {
+			switch {
+			case errors.As(err, &he):
 				status = he.status
+			case errors.Is(err, qe.ErrOverloaded):
+				// Load shedding is explicit back-pressure, not a server
+				// fault: tell well-behaved clients when to come back.
+				w.Header().Set("Retry-After", "1")
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, context.DeadlineExceeded):
+				status = http.StatusGatewayTimeout
 			}
 			w.WriteHeader(status)
 			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
@@ -107,7 +127,7 @@ func (s *server) distance(r *http.Request) (interface{}, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, err := s.oracle.QueryChecked(u, v)
+	d, err := s.engine.Query(r.Context(), u, v)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +143,10 @@ func (s *server) path(r *http.Request) (interface{}, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, err := s.oracle.QueryChecked(u, v)
+	// The distance goes through the engine — admission applies and the
+	// row lands in the cache, where followup queries near this pair will
+	// find it; reconstruction then walks the oracle directly.
+	d, err := s.engine.Query(r.Context(), u, v)
 	if err != nil {
 		return nil, err
 	}
@@ -137,6 +160,55 @@ func (s *server) path(r *http.Request) (interface{}, error) {
 		resp["path"] = walk
 	}
 	return resp, nil
+}
+
+// batchRequest is the /batch JSON body.
+type batchRequest struct {
+	Sources []int32 `json:"sources"`
+	Targets []int32 `json:"targets"`
+}
+
+// batch answers a many-to-many distance matrix in one request:
+//
+//	POST /batch  {"sources":[0,3],"targets":[1,2,5]}
+//	→ {"sources":2,"targets":3,"distances":[[...],[...]]}
+//
+// Unreachable pairs come back as -1 (JSON has no Inf). Rows are computed
+// once per distinct source through the engine's cache, coalescing, and
+// work-queue scheduling.
+func (s *server) batch(r *http.Request) (interface{}, error) {
+	if r.Method != http.MethodPost {
+		return nil, &httpError{http.StatusMethodNotAllowed, fmt.Errorf("POST a JSON body to /batch")}
+	}
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("batch body: %w", err)
+	}
+	if pairs := int64(len(req.Sources)) * int64(len(req.Targets)); pairs > maxBatchPairs {
+		return nil, fmt.Errorf("batch of %d pairs exceeds the %d limit", pairs, maxBatchPairs)
+	}
+	rows, err := s.engine.Batch(r.Context(), req.Sources, req.Targets)
+	if err != nil {
+		return nil, err
+	}
+	dist := make([][]float64, len(rows))
+	for i, row := range rows {
+		dist[i] = make([]float64, len(row))
+		for j, d := range row {
+			if qe.Unreachable(d) {
+				dist[i][j] = -1
+			} else {
+				dist[i][j] = float64(d)
+			}
+		}
+	}
+	return map[string]interface{}{
+		"sources":   len(req.Sources),
+		"targets":   len(req.Targets),
+		"distances": dist,
+	}, nil
 }
 
 func (s *server) mcbCycle(r *http.Request) (interface{}, error) {

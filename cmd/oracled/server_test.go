@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcb"
 	"repro/internal/obs"
+	"repro/internal/qe"
 )
 
 func testServer(t *testing.T) (*server, *graph.Graph, []graph.Weight) {
@@ -28,7 +30,9 @@ func testServer(t *testing.T) (*server, *graph.Graph, []graph.Weight) {
 	}, cfg, rng)
 	oracle := apsp.NewOracle(g)
 	basis := mcb.Compute(g, mcb.Options{UseEar: true})
-	return newServer(g, oracle, basis, obs.NewRegistry()), g, apsp.FloydWarshall(g)
+	reg := obs.NewRegistry()
+	engine := qe.New(oracle, qe.Config{CacheRows: 64, MaxInflight: 8, QueueDepth: 64, Reg: reg})
+	return newServer(g, oracle, basis, engine, reg), g, apsp.FloydWarshall(g)
 }
 
 func getJSON(t *testing.T, ts *httptest.Server, path string, wantStatus int) map[string]interface{} {
@@ -220,4 +224,146 @@ func TestGracefulShutdown(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("serve did not return after drain")
 	}
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path, body string, wantStatus int) map[string]interface{} {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: decode: %v", path, err)
+	}
+	return out
+}
+
+// TestBatchEndpoint checks /batch against the Floyd–Warshall reference,
+// including unreachable pairs (-1), and the error paths: wrong method,
+// malformed body, out-of-range vertices.
+func TestBatchEndpoint(t *testing.T) {
+	s, g, ref := testServer(t)
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	n := g.NumVertices()
+
+	sources := []int{0, 3, n - 1, 3}
+	targets := []int{1, 0, n - 2}
+	body, _ := json.Marshal(map[string][]int{"sources": sources, "targets": targets})
+	out := postJSON(t, ts, "/batch", string(body), 200)
+	if int(out["sources"].(float64)) != len(sources) || int(out["targets"].(float64)) != len(targets) {
+		t.Fatalf("batch shape: %v", out)
+	}
+	dist := out["distances"].([]interface{})
+	for i, u := range sources {
+		row := dist[i].([]interface{})
+		for j, v := range targets {
+			got := row[j].(float64)
+			want := ref[u*n+v]
+			if want >= apsp.Inf {
+				if got != -1 {
+					t.Fatalf("batch[%d][%d] = %v, want -1 (unreachable)", i, j, got)
+				}
+				continue
+			}
+			if got != want {
+				t.Fatalf("batch[%d][%d] = d(%d,%d) = %v, want %v", i, j, u, v, got, want)
+			}
+		}
+	}
+
+	// GET is rejected, bad JSON and bad vertices are 400s.
+	resp, err := ts.Client().Get(ts.URL + "/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /batch: status %d", resp.StatusCode)
+	}
+	postJSON(t, ts, "/batch", `{"sources":[0],`, 400)
+	postJSON(t, ts, "/batch", fmt.Sprintf(`{"sources":[%d],"targets":[0]}`, n), 400)
+	postJSON(t, ts, "/batch", `{"sources":[0],"targets":[-1]}`, 400)
+
+	// Engine metrics surfaced through /stats.
+	stats := getJSON(t, ts, "/stats", 200)
+	for _, k := range []string{"qe.rows.built", "qe.cache.hits", "qe.cache.misses",
+		"qe.cache.evictions", "qe.cache.rows", "qe.queue.depth", "qe.inflight"} {
+		if _, ok := stats[k]; !ok {
+			t.Fatalf("stats missing %q: %v", k, stats)
+		}
+	}
+}
+
+// TestOverloadResponds503 saturates a one-slot, zero-queue engine with a
+// request that blocks inside its row build and asserts the next request
+// is shed as 503 with a Retry-After header.
+func TestOverloadResponds503(t *testing.T) {
+	s, _, _ := testServer(t)
+	gate := make(chan struct{})
+	began := make(chan struct{}, 1)
+	src := &blockingSource{n: s.g.NumVertices(), oracle: s.oracle, gate: gate, began: began}
+	s.engine = qe.New(src, qe.Config{CacheRows: 4, MaxInflight: 1, QueueDepth: 0, Reg: obs.NewRegistry()})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Get(ts.URL + "/distance?u=0&v=1")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				err = fmt.Errorf("blocked request finished with %d", resp.StatusCode)
+			}
+		}
+		done <- err
+	}()
+	<-began // the only slot is now held inside a row build
+
+	resp, err := ts.Client().Get(ts.URL + "/distance?u=2&v=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded request: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After header")
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out["error"] == "" {
+		t.Fatalf("503 body: %v, %v", out, err)
+	}
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+}
+
+// blockingSource delegates rows to the real oracle but blocks the first
+// build on a gate, so tests can hold the engine's admission slot open
+// deterministically.
+type blockingSource struct {
+	n      int
+	oracle *apsp.Oracle
+	gate   chan struct{}
+	began  chan struct{}
+	once   sync.Once
+}
+
+func (b *blockingSource) NumVertices() int { return b.n }
+
+func (b *blockingSource) Row(src int32, out []graph.Weight) int64 {
+	b.once.Do(func() {
+		b.began <- struct{}{}
+		<-b.gate
+	})
+	return b.oracle.Row(src, out)
 }

@@ -1,0 +1,109 @@
+package apsp
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestOracleRowMatchesQuery checks the row algorithm against both the
+// per-pair Query surface and the Floyd–Warshall reference on every test
+// topology, including disconnected graphs, pendants, and chained blocks —
+// the cases where the per-block extension pass has to agree with the
+// forest navigation of Query.
+func TestOracleRowMatchesQuery(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		o := NewOracle(g)
+		ref := FloydWarshall(g)
+		n := g.NumVertices()
+		row := make([]graph.Weight, n)
+		for u := 0; u < n; u++ {
+			ops := o.Row(int32(u), row)
+			if ops < int64(n) {
+				t.Fatalf("%s: Row(%d) reported %d ops for an n=%d row", name, u, ops, n)
+			}
+			for v := 0; v < n; v++ {
+				if want := ref[u*n+v]; row[v] != want {
+					t.Fatalf("%s: Row(%d)[%d] = %v, want %v (Query says %v)",
+						name, u, v, row[v], want, o.Query(int32(u), int32(v)))
+				}
+			}
+		}
+	}
+}
+
+// TestOracleRowPathological runs the row/pair equivalence on the
+// reassembly corner cases: parallel reduced edges, multigraph rings,
+// bridges, and self-anchored ears.
+func TestOracleRowPathological(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 7}
+	rng := gen.NewRNG(0xdecaf)
+	graphs := map[string]*graph.Graph{
+		"theta":          gen.Theta([]int{0, 0, 1, 3}, cfg, rng),
+		"necklace":       gen.CycleNecklace(4, 3, cfg, rng),
+		"bridge-chain":   gen.BridgeChain(4, 4, cfg, rng),
+		"loop-flower":    gen.LoopFlower(3, 3, cfg, rng),
+		"multigraph":     gen.Multigraph(9, 16, 4, 2, cfg, rng),
+		"chained-blocks": gen.ChainBlocks([]*graph.Graph{gen.CycleNecklace(3, 3, cfg, rng), gen.Theta([]int{2, 3}, cfg, rng)}, cfg, rng),
+	}
+	for name, g := range graphs {
+		o := NewOracle(g)
+		n := g.NumVertices()
+		row := make([]graph.Weight, n)
+		for u := 0; u < n; u++ {
+			o.Row(int32(u), row)
+			for v := 0; v < n; v++ {
+				if want := o.Query(int32(u), int32(v)); row[v] != want {
+					t.Fatalf("%s: Row(%d)[%d] = %v, Query = %v", name, u, v, row[v], want)
+				}
+			}
+		}
+	}
+}
+
+// TestRowChecked covers the checked wrapper and out-of-range behaviour of
+// the raw Row.
+func TestRowChecked(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 5}
+	rng := gen.NewRNG(1)
+	g := gen.Ring(8, cfg, rng)
+	o := NewOracle(g)
+	row := make([]graph.Weight, g.NumVertices())
+	if _, err := o.RowChecked(-1, row); err == nil {
+		t.Fatal("RowChecked(-1) accepted")
+	}
+	if _, err := o.RowChecked(int32(g.NumVertices()), row); err == nil {
+		t.Fatal("RowChecked(n) accepted")
+	}
+	if _, err := o.RowChecked(0, row); err != nil {
+		t.Fatalf("RowChecked(0): %v", err)
+	}
+	// Raw Row on an out-of-range source must not panic and yields all-Inf.
+	if ops := o.Row(99, row); ops != 0 {
+		t.Fatalf("Row(out-of-range) reported %d ops", ops)
+	}
+	for v, d := range row {
+		if d != Inf {
+			t.Fatalf("Row(out-of-range)[%d] = %v, want Inf", v, d)
+		}
+	}
+}
+
+// TestRowCost sanity-checks the scheduler size estimate: positive,
+// and at least n for in-range sources.
+func TestRowCost(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 5}
+	rng := gen.NewRNG(2)
+	g := gen.ChainBlocks([]*graph.Graph{gen.Ring(6, cfg, rng), gen.Ring(7, cfg, rng)}, cfg, rng)
+	o := NewOracle(g)
+	n := int64(g.NumVertices())
+	for u := int32(0); u < int32(n); u++ {
+		if c := o.RowCost(u); c < n {
+			t.Fatalf("RowCost(%d) = %d < n = %d", u, c, n)
+		}
+	}
+	if o.NumVertices() != int(n) {
+		t.Fatalf("NumVertices = %d, want %d", o.NumVertices(), n)
+	}
+}

@@ -1,0 +1,34 @@
+package cli
+
+import (
+	"flag"
+	"time"
+
+	"repro/internal/hetero"
+	"repro/internal/qe"
+)
+
+// EngineFlags registers the query-engine tuning flags shared by serving
+// binaries (-cache-rows, -max-inflight, -queue-depth, -deadline) on the
+// default flag set and returns a function that resolves them into a
+// qe.Config after flag.Parse. Centralising them here keeps the flag
+// names, defaults, and help text identical across every daemon that
+// embeds the engine.
+func EngineFlags() func() qe.Config {
+	cacheRows := flag.Int("cache-rows", qe.DefaultCacheRows,
+		"distance rows kept in the LRU row cache (negative disables caching)")
+	maxInflight := flag.Int("max-inflight", hetero.Workers(),
+		"concurrently served queries (defaults to the worker count)")
+	queueDepth := flag.Int("queue-depth", 64,
+		"admitted requests that may wait beyond max-inflight before load-shedding (0 sheds immediately)")
+	deadline := flag.Duration("deadline", 2*time.Second,
+		"per-request deadline covering queue wait and row computation (0 disables)")
+	return func() qe.Config {
+		return qe.Config{
+			CacheRows:   *cacheRows,
+			MaxInflight: *maxInflight,
+			QueueDepth:  *queueDepth,
+			Deadline:    *deadline,
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // This file provides real goroutine-based parallel execution, used when the
@@ -92,5 +94,10 @@ func HybridRun(units []Unit, cpuWorkers, cpuBatch, bigBatch int, execCPU, execBi
 		}
 	}()
 	wg.Wait()
+	// Mirror Run's accounting so hybrid (wall-clock) executions show up in
+	// the same process-wide metrics as virtual-clock schedules.
+	obs.Default.Counter("hetero.hybrid.runs").Inc()
+	obs.Default.Counter("hetero.hybrid.units.cpu").Add(cpuCount)
+	obs.Default.Counter("hetero.hybrid.units.big").Add(bigCount)
 	return int(cpuCount), int(bigCount)
 }

@@ -37,6 +37,32 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // String renders the count; Counter implements expvar.Var.
 func (c *Counter) String() string { return fmt.Sprintf("%d", c.v.Load()) }
 
+// Gauge is an instantaneous level — cache occupancy, admission-queue
+// depth — that moves both ways, unlike the monotonic Counter. Add returns
+// the post-update value so callers can gate on the level they just
+// produced (an admission queue rejects when its own Add crosses the
+// bound) without a second atomic read.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by delta (which may be negative) and returns the
+// new value.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Inc adds one and returns the new value.
+func (g *Gauge) Inc() int64 { return g.v.Add(1) }
+
+// Dec subtracts one and returns the new value.
+func (g *Gauge) Dec() int64 { return g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// String renders the level; Gauge implements expvar.Var.
+func (g *Gauge) String() string { return fmt.Sprintf("%d", g.v.Load()) }
+
 // numBuckets covers [1µs, 2³¹µs ≈ 36min) in powers of two, with the first
 // and last buckets absorbing underflow and overflow.
 const numBuckets = 32
@@ -181,6 +207,7 @@ func (p *Phases) String() string {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	phases   map[string]*Phases
 }
@@ -189,6 +216,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		phases:   make(map[string]*Phases),
 	}
@@ -207,6 +235,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it on first use.
@@ -236,9 +276,12 @@ func (r *Registry) Phases(name string) *Phases {
 // String renders every metric, sorted by name, as one JSON object.
 func (r *Registry) String() string {
 	r.mu.Lock()
-	vars := make(map[string]expvar.Var, len(r.counters)+len(r.hists)+len(r.phases))
+	vars := make(map[string]expvar.Var, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.phases))
 	for n, c := range r.counters {
 		vars[n] = c
+	}
+	for n, g := range r.gauges {
+		vars[n] = g
 	}
 	for n, h := range r.hists {
 		vars[n] = h

@@ -120,3 +120,55 @@ func TestRegistryConcurrentMixedUse(t *testing.T) {
 		t.Fatalf("c = %d", r.Counter("c").Value())
 	}
 }
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if v := g.Inc(); v != 1 {
+		t.Fatalf("Inc returned %d, want 1", v)
+	}
+	if v := g.Add(5); v != 6 {
+		t.Fatalf("Add(5) returned %d, want 6", v)
+	}
+	if v := g.Dec(); v != 5 {
+		t.Fatalf("Dec returned %d, want 5", v)
+	}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("Value = %d, want -3", g.Value())
+	}
+	if g.String() != "-3" {
+		t.Fatalf("String = %q, want -3", g.String())
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Gauge("depth").Inc()
+				r.Gauge("depth").Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Gauge("depth").Value(); v != 0 {
+		t.Fatalf("balanced inc/dec left gauge at %d", v)
+	}
+}
+
+func TestRegistryRendersGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("q.depth").Set(7)
+	r.Counter("q.requests").Inc()
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(r.String()), &raw); err != nil {
+		t.Fatalf("registry String is not JSON: %v\n%s", err, r.String())
+	}
+	if string(raw["q.depth"]) != "7" {
+		t.Fatalf("gauge rendered as %s, want 7", raw["q.depth"])
+	}
+}

@@ -97,3 +97,90 @@ func TestBoundaryDefinition(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionManyComponents covers the disconnected-leftovers path with
+// more components than parts and with isolated vertices: every vertex must
+// end up with a valid label and the labels must cover vertices exactly
+// once (labels in [0, k), sizes summing to n).
+func TestPartitionManyComponents(t *testing.T) {
+	// 5 disjoint triangles + 5 isolated vertices = 10 components.
+	b := graph.NewBuilder(20)
+	for c := int32(0); c < 5; c++ {
+		v := 3 * c
+		b.AddEdge(v, v+1, 1)
+		b.AddEdge(v+1, v+2, 1)
+		b.AddEdge(v+2, v, 1)
+	}
+	g := b.Build()
+	for _, k := range []int{1, 2, 3, 7} {
+		part := Partition(g, k, 3)
+		if len(part) != g.NumVertices() {
+			t.Fatalf("k=%d: %d labels for %d vertices", k, len(part), g.NumVertices())
+		}
+		for v, p := range part {
+			if p < 0 || int(p) >= k {
+				t.Fatalf("k=%d: vertex %d has invalid label %d", k, v, p)
+			}
+		}
+		total := 0
+		for _, s := range Sizes(part, k) {
+			total += s
+		}
+		if total != g.NumVertices() {
+			t.Fatalf("k=%d: sizes sum to %d, want %d", k, total, g.NumVertices())
+		}
+	}
+}
+
+// TestPartitionKExceedsN: requesting more parts than vertices must clamp
+// to n, label every vertex validly, and still terminate on disconnected
+// and edgeless inputs.
+func TestPartitionKExceedsN(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"path":     gen.Ring(5, gen.Config{MaxWeight: 3}, gen.NewRNG(17)),
+		"edgeless": graph.FromEdges(4, nil),
+	}
+	// two components, 6 vertices
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 1)
+	cases["two-paths"] = b.Build()
+
+	for name, g := range cases {
+		n := g.NumVertices()
+		for _, k := range []int{n + 1, 2*n + 3, 100} {
+			part := Partition(g, k, 2)
+			if len(part) != n {
+				t.Fatalf("%s k=%d: %d labels for %d vertices", name, k, len(part), n)
+			}
+			seen := make(map[int32]bool)
+			for v, p := range part {
+				if p < 0 || int(p) >= n {
+					t.Fatalf("%s k=%d: vertex %d has label %d outside [0, n=%d)", name, k, v, p, n)
+				}
+				seen[p] = true
+			}
+			// k clamps to n, so every vertex is its own seed: all n parts
+			// are non-empty.
+			if len(seen) != n {
+				t.Fatalf("%s k=%d: %d distinct labels, want %d", name, k, len(seen), n)
+			}
+		}
+	}
+}
+
+// TestPartitionSingleVertexAndEmpty: the degenerate shapes a serving
+// layer can feed the partitioner must not panic.
+func TestPartitionSingleVertexAndEmpty(t *testing.T) {
+	one := graph.FromEdges(1, nil)
+	part := Partition(one, 4, 2)
+	if len(part) != 1 || part[0] != 0 {
+		t.Fatalf("single vertex: %v", part)
+	}
+	empty := graph.FromEdges(0, nil)
+	if got := Partition(empty, 3, 1); len(got) != 0 {
+		t.Fatalf("empty graph: %v", got)
+	}
+}

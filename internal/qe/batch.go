@@ -1,0 +1,105 @@
+package qe
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hetero"
+)
+
+// Batch tuning: the CPU side of the work deque pops rows one at a time
+// (good balance for skewed row costs), the big-batch side claims chunks
+// so the largest rows are consumed in bulk first — the Section 2.3
+// work-queue discipline with the engine's row builds as work-units.
+const (
+	cpuBatchRows = 1
+	bigBatchRows = 8
+)
+
+// Batch answers the many-to-many query set sources × targets: the result
+// is len(sources) rows of len(targets) distances, where result[i][j] =
+// d(sources[i], targets[j]) and unreachable pairs carry the Inf sentinel
+// (test with Unreachable).
+//
+// The whole batch is one admitted request (one admission slot, one
+// deadline). Rows are computed at most once per *distinct* source — and
+// not at all for cached rows — by scheduling each missing row as a
+// hetero.Unit on the double-ended work queue: a pool of workers drains
+// the small end row by row while a big-batch drainer claims the largest
+// rows in chunks. Concurrent point queries and other batches coalesce
+// onto the same builds through the engine's singleflight layer.
+//
+// On deadline expiry mid-batch the remaining rows are skipped and the
+// context error is returned; no partial matrix is produced.
+func (e *Engine) Batch(ctx context.Context, sources, targets []int32) ([][]graph.Weight, error) {
+	for _, u := range sources {
+		if err := e.checkVertex("source", u); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range targets {
+		if err := e.checkVertex("target", v); err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := e.withDeadline(ctx)
+	defer cancel()
+	if err := e.adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.adm.release()
+
+	// Distinct sources, preserving first-seen order; Unit.ID indexes this
+	// slice so results land in a race-free preallocated table.
+	distinct := make([]int32, 0, len(sources))
+	index := make(map[int32]int32, len(sources))
+	for _, u := range sources {
+		if _, ok := index[u]; !ok {
+			index[u] = int32(len(distinct))
+			distinct = append(distinct, u)
+		}
+	}
+	e.batchSources.Add(int64(len(distinct)))
+	e.batchPairs.Add(int64(len(sources)) * int64(len(targets)))
+
+	rows := make([][]graph.Weight, len(distinct))
+	units := make([]hetero.Unit, len(distinct))
+	sizer, hasSizer := e.src.(Sizer)
+	for i, u := range distinct {
+		size := int64(e.n)
+		if hasSizer {
+			size = sizer.RowCost(u)
+		}
+		units[i] = hetero.Unit{ID: int32(i), Size: size}
+	}
+	workers := e.workers
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	exec := func(u hetero.Unit) {
+		if ctx.Err() != nil {
+			return // deadline passed: skip remaining rows
+		}
+		rows[u.ID] = e.getRow(distinct[u.ID])
+	}
+	hetero.HybridRun(units, workers, cpuBatchRows, bigBatchRows, exec, exec)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("qe: batch abandoned: %w", err)
+	}
+
+	out := make([][]graph.Weight, len(sources))
+	flat := make([]graph.Weight, len(sources)*len(targets))
+	for i, u := range sources {
+		row := rows[index[u]]
+		dst := flat[i*len(targets) : (i+1)*len(targets)]
+		for j, v := range targets {
+			dst[j] = row[v]
+		}
+		out[i] = dst
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package qe
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/apsp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// benchOracle builds a moderately sized multi-block oracle once per
+// benchmark binary: chained blocks with injected degree-2 chains, the
+// topology the ear reduction is designed for.
+func benchOracle(b *testing.B) *apsp.Oracle {
+	b.Helper()
+	cfg := gen.Config{MaxWeight: 20}
+	rng := gen.NewRNG(99)
+	g := gen.ChainBlocks([]*graph.Graph{
+		gen.PlanarEars(120, 4, cfg, rng),
+		gen.GNM(80, 160, cfg, rng),
+		gen.Ring(60, cfg, rng),
+	}, cfg, rng)
+	g = gen.Subdivide(g, 0.4, 2, cfg, rng)
+	return apsp.NewOracle(g)
+}
+
+// BenchmarkQEQueryWarm measures the steady-state point-query path: every
+// row is already cached, so this is admission + cache hit + one read.
+func BenchmarkQEQueryWarm(b *testing.B) {
+	o := benchOracle(b)
+	e := New(o, Config{CacheRows: o.NumVertices(), MaxInflight: 4, QueueDepth: 64, Reg: obs.NewRegistry()})
+	ctx := context.Background()
+	n := int32(o.NumVertices())
+	for u := int32(0); u < n; u++ { // warm the cache
+		if _, err := e.Query(ctx, u, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := int32(i) % n
+		v := int32(i*7) % n
+		if _, err := e.Query(ctx, u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQEQueryCold measures the uncached path — one row build per
+// distinct source — by disabling the cache.
+func BenchmarkQEQueryCold(b *testing.B) {
+	o := benchOracle(b)
+	e := New(o, Config{CacheRows: -1, MaxInflight: 4, QueueDepth: 64, Reg: obs.NewRegistry()})
+	ctx := context.Background()
+	n := int32(o.NumVertices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(ctx, int32(i)%n, int32(i+1)%n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQEBatch measures a 64×64 many-to-many batch on a cold cache:
+// the deque-scheduled row builds dominate.
+func BenchmarkQEBatch(b *testing.B) {
+	o := benchOracle(b)
+	n := int32(o.NumVertices())
+	sources := make([]int32, 64)
+	targets := make([]int32, 64)
+	for i := range sources {
+		sources[i] = int32(i*3) % n
+		targets[i] = int32(i*5+1) % n
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := New(o, Config{CacheRows: 16, MaxInflight: 8, QueueDepth: 64, Reg: obs.NewRegistry()})
+		b.StartTimer()
+		if _, err := e.Batch(ctx, sources, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQERowBuild isolates one oracle row computation, the unit the
+// engine schedules.
+func BenchmarkQERowBuild(b *testing.B) {
+	o := benchOracle(b)
+	row := make([]graph.Weight, o.NumVertices())
+	n := int32(o.NumVertices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Row(int32(i)%n, row)
+	}
+}

@@ -1,0 +1,115 @@
+package qe
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// rowCache is a sharded LRU over completed distance rows. Sharding keeps
+// the lock off the hot path's critical section short under concurrent
+// load; the shard count is a power of two no larger than the capacity so
+// small caches degenerate gracefully to one shard.
+//
+// The total bound is Σ per-shard capacities = ceil(capacity/shards) per
+// shard, so occupancy never exceeds capacity rounded up to a multiple of
+// the shard count.
+type rowCache struct {
+	shards []cacheShard
+	mask   uint32
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	occupancy *obs.Gauge
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[int32]*list.Element
+}
+
+type cacheEntry struct {
+	src int32
+	row []graph.Weight
+}
+
+func newRowCache(capacity int, reg *obs.Registry) *rowCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	shards := 1
+	for shards < 16 && shards*2 <= capacity {
+		shards *= 2
+	}
+	perShard := (capacity + shards - 1) / shards
+	c := &rowCache{
+		shards: make([]cacheShard, shards),
+		mask:   uint32(shards - 1),
+
+		hits:      reg.Counter("qe.cache.hits"),
+		misses:    reg.Counter("qe.cache.misses"),
+		evictions: reg.Counter("qe.cache.evictions"),
+		occupancy: reg.Gauge("qe.cache.rows"),
+	}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].ll = list.New()
+		c.shards[i].m = make(map[int32]*list.Element, perShard)
+	}
+	return c
+}
+
+func (c *rowCache) shard(src int32) *cacheShard {
+	// Fibonacci hashing spreads consecutive sources across shards.
+	return &c.shards[(uint32(src)*2654435769>>16)&c.mask]
+}
+
+// get returns the cached row for src, promoting it to most-recent.
+func (c *rowCache) get(src int32) ([]graph.Weight, bool) {
+	s := c.shard(src)
+	s.mu.Lock()
+	el, ok := s.m[src]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).row, true
+}
+
+// put inserts (or refreshes) the row for src, evicting the shard's
+// least-recent entry when over capacity.
+func (c *rowCache) put(src int32, row []graph.Weight) {
+	s := c.shard(src)
+	var evicted, inserted bool
+	s.mu.Lock()
+	if el, ok := s.m[src]; ok {
+		el.Value.(*cacheEntry).row = row
+		s.ll.MoveToFront(el)
+	} else {
+		s.m[src] = s.ll.PushFront(&cacheEntry{src: src, row: row})
+		inserted = true
+		if s.ll.Len() > s.cap {
+			back := s.ll.Back()
+			s.ll.Remove(back)
+			delete(s.m, back.Value.(*cacheEntry).src)
+			evicted = true
+		}
+	}
+	s.mu.Unlock()
+	if inserted && !evicted {
+		c.occupancy.Inc()
+	}
+	if evicted {
+		c.evictions.Inc()
+	}
+}

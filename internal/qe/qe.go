@@ -1,0 +1,243 @@
+// Package qe is the batched query engine that sits between a serving
+// layer (cmd/oracled) and a distance oracle (apsp.Oracle). The paper's
+// reduced-graph construction makes per-source work cheap enough to answer
+// on demand (Section 2); this package adds the serving discipline that
+// turns that into sustained throughput:
+//
+//   - rows, not pairs: distances are materialised one source row at a
+//     time through the oracle's Row surface, so queries sharing a source
+//     share their work;
+//   - coalescing: concurrent requests for the same uncached row wait on a
+//     single in-flight computation (singleflight) instead of duplicating
+//     it;
+//   - caching: completed rows live in a sharded, size-bounded LRU with
+//     hit/miss/eviction counters and an occupancy gauge in internal/obs;
+//   - admission control: at most MaxInflight requests are served
+//     concurrently, at most QueueDepth more may wait (with per-request
+//     deadlines), and everything beyond that is shed with the typed
+//     ErrOverloaded so the HTTP layer can answer 503 + Retry-After;
+//   - bulk queries: Batch answers an N×M many-to-many matrix with one row
+//     computation per distinct source, scheduled as hetero.Units through
+//     the paper's double-ended work queue so the largest rows go to the
+//     big-batch executor first (Section 2.3's discipline).
+//
+// Engines are safe for concurrent use; every exported method is
+// panic-free on arbitrary input.
+package qe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/hetero"
+	"repro/internal/obs"
+)
+
+// RowSource is the oracle surface the engine builds rows from.
+// apsp.Oracle and apsp.EarAPSP both satisfy it. Row must be safe for
+// concurrent callers and must fill out[:NumVertices()].
+type RowSource interface {
+	NumVertices() int
+	Row(src int32, out []graph.Weight) int64
+}
+
+// Sizer is the optional extension a RowSource can implement to give the
+// batch scheduler a per-row cost estimate; without it every row weighs
+// NumVertices().
+type Sizer interface {
+	RowCost(src int32) int64
+}
+
+// Typed failures of the engine surface. The serving layer matches them
+// with errors.Is.
+var (
+	// ErrOverloaded reports that the admission queue was full and the
+	// request was shed without waiting.
+	ErrOverloaded = errors.New("qe: overloaded, admission queue full")
+	// ErrVertexRange reports a source or target outside [0, n).
+	ErrVertexRange = errors.New("qe: vertex out of range")
+)
+
+// Config tunes an Engine. The zero value is usable: see the field
+// comments for how zero resolves.
+type Config struct {
+	// CacheRows bounds the LRU row cache (0 resolves to DefaultCacheRows;
+	// negative disables caching entirely, leaving only coalescing).
+	CacheRows int
+	// MaxInflight bounds concurrently served requests; ≤ 0 resolves to
+	// hetero.Workers().
+	MaxInflight int
+	// QueueDepth bounds requests waiting for admission beyond
+	// MaxInflight; negative resolves to 0 (shed immediately when all
+	// slots are busy).
+	QueueDepth int
+	// Deadline bounds each request that arrives without its own context
+	// deadline; ≤ 0 means no engine-imposed deadline.
+	Deadline time.Duration
+	// Reg receives the engine's metrics under "qe.*"; nil resolves to
+	// obs.Default.
+	Reg *obs.Registry
+}
+
+// DefaultCacheRows is the row-cache bound when Config.CacheRows is 0.
+const DefaultCacheRows = 4096
+
+// Engine answers point and bulk distance queries over one RowSource.
+type Engine struct {
+	src      RowSource
+	n        int
+	cache    *rowCache // nil when caching is disabled
+	adm      *admission
+	deadline time.Duration
+	workers  int
+
+	mu     sync.Mutex
+	flight map[int32]*rowCall
+
+	builds       *obs.Counter
+	buildOps     *obs.Counter
+	coalesced    *obs.Counter
+	buildLat     *obs.Histogram
+	batchSources *obs.Counter
+	batchPairs   *obs.Counter
+}
+
+// rowCall is one in-flight row computation other requests coalesce onto.
+type rowCall struct {
+	done chan struct{}
+	row  []graph.Weight
+}
+
+// New builds an engine over src. Metrics register immediately so they are
+// visible (at zero) before the first request.
+func New(src RowSource, cfg Config) *Engine {
+	reg := cfg.Reg
+	if reg == nil {
+		reg = obs.Default
+	}
+	workers := cfg.MaxInflight
+	if workers <= 0 {
+		workers = hetero.Workers()
+	}
+	queue := cfg.QueueDepth
+	if queue < 0 {
+		queue = 0
+	}
+	e := &Engine{
+		src:      src,
+		n:        src.NumVertices(),
+		adm:      newAdmission(workers, queue, reg),
+		deadline: cfg.Deadline,
+		workers:  workers,
+		flight:   make(map[int32]*rowCall),
+
+		builds:       reg.Counter("qe.rows.built"),
+		buildOps:     reg.Counter("qe.rows.build.ops"),
+		coalesced:    reg.Counter("qe.rows.coalesced"),
+		buildLat:     reg.Histogram("qe.rows.build.latency"),
+		batchSources: reg.Counter("qe.batch.sources"),
+		batchPairs:   reg.Counter("qe.batch.pairs"),
+	}
+	rows := cfg.CacheRows
+	if rows == 0 {
+		rows = DefaultCacheRows
+	}
+	if rows > 0 {
+		e.cache = newRowCache(rows, reg)
+	}
+	return e
+}
+
+// NumVertices returns the vertex count of the underlying source.
+func (e *Engine) NumVertices() int { return e.n }
+
+// checkVertex validates one vertex ID.
+func (e *Engine) checkVertex(what string, v int32) error {
+	if v < 0 || int(v) >= e.n {
+		return fmt.Errorf("%s %d outside [0, %d): %w", what, v, e.n, ErrVertexRange)
+	}
+	return nil
+}
+
+// withDeadline applies the engine deadline to contexts that do not carry
+// their own.
+func (e *Engine) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.deadline <= 0 {
+		return ctx, func() {}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, e.deadline)
+}
+
+// Query answers one pair through the row machinery: admission, then the
+// cached (or coalesced, or freshly built) row for u, then one read. The
+// error is ErrOverloaded, a context error from waiting for admission, or
+// ErrVertexRange; unreachable pairs report apsp Inf, not an error.
+func (e *Engine) Query(ctx context.Context, u, v int32) (graph.Weight, error) {
+	if err := e.checkVertex("source", u); err != nil {
+		return graph.Weight(inf), err
+	}
+	if err := e.checkVertex("target", v); err != nil {
+		return graph.Weight(inf), err
+	}
+	ctx, cancel := e.withDeadline(ctx)
+	defer cancel()
+	if err := e.adm.acquire(ctx); err != nil {
+		return graph.Weight(inf), err
+	}
+	defer e.adm.release()
+	return e.getRow(u)[v], nil
+}
+
+// getRow returns the distance row for src: cache hit, coalesced wait, or
+// a fresh build on the calling goroutine. Callers must have validated src.
+// Returned rows are shared and read-only.
+func (e *Engine) getRow(src int32) []graph.Weight {
+	if e.cache != nil {
+		if row, ok := e.cache.get(src); ok {
+			return row
+		}
+	}
+	e.mu.Lock()
+	if c, ok := e.flight[src]; ok {
+		e.mu.Unlock()
+		e.coalesced.Inc()
+		<-c.done
+		return c.row
+	}
+	c := &rowCall{done: make(chan struct{})}
+	e.flight[src] = c
+	e.mu.Unlock()
+
+	t0 := time.Now()
+	row := make([]graph.Weight, e.n)
+	ops := e.src.Row(src, row)
+	e.builds.Inc()
+	e.buildOps.Add(ops)
+	e.buildLat.Observe(time.Since(t0))
+	c.row = row
+	if e.cache != nil {
+		e.cache.put(src, row)
+	}
+	e.mu.Lock()
+	delete(e.flight, src)
+	e.mu.Unlock()
+	close(c.done)
+	return row
+}
+
+// inf mirrors apsp.Inf / sssp.Inf without importing either package; qe
+// depends only on the RowSource contract that unreachable entries carry
+// this sentinel.
+const inf = graph.Weight(math.MaxFloat64)
+
+// Unreachable reports whether a distance returned by Query or Batch means
+// "no path".
+func Unreachable(d graph.Weight) bool { return d >= inf }
