@@ -5,11 +5,13 @@
 //	apsp -file road.gr -query 0,17 -query 4,2
 //	apsp -dataset as-22july06 -scale 0.05 -summary
 //	apsp -dataset Planar_3 -compare
+//	apsp -file road.gr -snapshot oracle.snap   # persist the oracle for oracled -load-snapshot
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -39,6 +41,7 @@ func main() {
 		compare   = flag.Bool("compare", false, "also run the Banerjee baseline and report the speedup")
 		check     = flag.Bool("verify", false, "cross-check the oracle against reference Bellman–Ford from 10 sources")
 		analytics = flag.Bool("analytics", false, "compute eccentricities, diameter, radius and Wiener index")
+		snapOut   = flag.String("snapshot", "", "write the built oracle to an oracle snapshot file (for oracled -load-snapshot)")
 		queries   queryList
 	)
 	var paths queryList
@@ -69,6 +72,13 @@ func main() {
 	fmt.Printf("memory: %.1f MB (paper model a²+Σnᵢ²) vs %.1f MB dense, %.1f MB actually stored\n",
 		float64(oursB)/(1<<20), float64(maxB)/(1<<20), float64(o.ReducedMemory()*4)/(1<<20))
 
+	if *snapOut != "" {
+		n, err := writeSnapshot(*snapOut, o)
+		if err != nil {
+			cli.Fatalf("apsp", "write snapshot: %v", err)
+		}
+		fmt.Printf("oracle snapshot: %s (%d bytes)\n", *snapOut, n)
+	}
 	if *check {
 		if err := verify.OracleSample(g, o, 10); err != nil {
 			cli.Fatalf("apsp", "VERIFICATION FAILED: %v", err)
@@ -128,6 +138,20 @@ func main() {
 		}
 		fmt.Printf("path(%d, %d) = %v (weight %g)\n", u, v, w, d)
 	}
+}
+
+// writeSnapshot persists the oracle for oracled -load-snapshot, returning
+// the byte count written.
+func writeSnapshot(path string, o *apsp.Oracle) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := o.WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
 }
 
 func parsePair(q string, n int) (int32, int32, error) {

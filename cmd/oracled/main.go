@@ -6,8 +6,16 @@
 // basis), and answers JSON queries until SIGTERM/SIGINT, at which point it
 // stops accepting connections and drains in-flight requests.
 //
+// Build-once/serve-many: -save-snapshot persists the built oracle (graph,
+// ear reductions, distance tables, block-cut forest, articulation table)
+// as one checksummed snapshot file, and -load-snapshot boots straight from
+// such a file — written here or by cmd/apsp -snapshot — serving the first
+// query without running any build phase.
+//
 //	oracled -file snapshot.earg -addr :8080
 //	oracled -dataset Planar_1 -scale 0.02 -mcb
+//	oracled -dataset Planar_1 -save-snapshot oracle.snap     # build once, persist
+//	oracled -load-snapshot oracle.snap                       # boot with zero build work
 //
 //	curl 'localhost:8080/distance?u=0&v=17'
 //	curl 'localhost:8080/path?u=0&v=17'
@@ -57,32 +65,45 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "dataset seed")
 		workers  = flag.Int("workers", hetero.Workers(), "parallel workers for the oracle build")
 		withMCB  = flag.Bool("mcb", false, "also compute a minimum cycle basis and serve /mcb/cycle")
-		snapshot = flag.String("save-snapshot", "", "write the loaded graph as a binary .earg snapshot and continue")
+		saveSnap = flag.String("save-snapshot", "", "write the built oracle as a snapshot file and continue serving")
+		loadSnap = flag.String("load-snapshot", "", "serve from an oracle snapshot, skipping the build entirely (replaces -file/-dataset)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	engineCfg := cli.EngineFlags()
-	cli.SetUsage("oracled", "[-file graph | -dataset name] [-addr host:port] [flags]")
+	cli.SetUsage("oracled", "[-file graph | -dataset name | -load-snapshot file] [-addr host:port] [flags]")
 	flag.Parse()
 
-	g, name, err := cli.LoadInput(*file, *dataset, *scale, *seed)
-	if err != nil {
-		cli.Exit("oracled", err)
+	var (
+		g      *graph.Graph
+		oracle *apsp.Oracle
+	)
+	if *loadSnap != "" {
+		oracle = loadOracleSnapshot(*loadSnap)
+		g = oracle.G
+		fmt.Fprintf(os.Stderr, "oracled: snapshot %s (%d vertices, %d edges) loaded in %v — no build phases run\n",
+			*loadSnap, g.NumVertices(), g.NumEdges(), oracle.BuildPhases.Get("snapshot.load"))
+	} else {
+		var name string
+		var err error
+		g, name, err = cli.LoadInput(*file, *dataset, *scale, *seed)
+		if err != nil {
+			cli.Exit("oracled", err)
+		}
+		start := time.Now()
+		oracle = apsp.NewOracleParallel(g, *workers)
+		fmt.Fprintf(os.Stderr, "oracled: graph %s (%d vertices, %d edges), oracle built in %v (phases %s)\n",
+			name, g.NumVertices(), g.NumEdges(), time.Since(start), oracle.BuildPhases)
 	}
-	if *snapshot != "" {
-		if err := graph.SaveBinary(*snapshot, g); err != nil {
+	if *saveSnap != "" {
+		if err := saveOracleSnapshot(*saveSnap, oracle); err != nil {
 			cli.Fatalf("oracled", "save snapshot: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "oracled: wrote snapshot %s\n", *snapshot)
+		fmt.Fprintf(os.Stderr, "oracled: wrote oracle snapshot %s\n", *saveSnap)
 	}
-
-	start := time.Now()
-	oracle := apsp.NewOracleParallel(g, *workers)
-	fmt.Fprintf(os.Stderr, "oracled: graph %s (%d vertices, %d edges), oracle built in %v (phases %s)\n",
-		name, g.NumVertices(), g.NumEdges(), time.Since(start), oracle.BuildPhases)
 
 	var basis *mcb.Result
 	if *withMCB {
-		start = time.Now()
+		start := time.Now()
 		basis = mcb.Compute(g, mcb.Options{UseEar: true, Workers: *workers, Seed: *seed})
 		fmt.Fprintf(os.Stderr, "oracled: cycle basis: %d cycles, total weight %g, built in %v\n",
 			len(basis.Cycles), basis.TotalWeight, time.Since(start))
@@ -106,6 +127,42 @@ func main() {
 		cli.Fatalf("oracled", "%v", err)
 	}
 	fmt.Fprintln(os.Stderr, "oracled: drained, bye")
+}
+
+// loadOracleSnapshot restores a served oracle from an oracle snapshot
+// file, exiting with a diagnostic on any corruption or version skew.
+func loadOracleSnapshot(path string) *apsp.Oracle {
+	f, err := os.Open(path)
+	if err != nil {
+		cli.Fatalf("oracled", "load snapshot: %v", err)
+	}
+	defer f.Close()
+	o, err := apsp.ReadOracle(f)
+	if err != nil {
+		cli.Fatalf("oracled", "load snapshot %s: %v", path, err)
+	}
+	return o
+}
+
+// saveOracleSnapshot writes the oracle snapshot atomically enough for a
+// serving fleet: into a temp file first, renamed into place only after a
+// successful write, so readers never observe a torn snapshot.
+func saveOracleSnapshot(path string, o *apsp.Oracle) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := o.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // serve runs srv on ln until ctx is cancelled (SIGTERM/SIGINT), then shuts

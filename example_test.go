@@ -1,7 +1,10 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro"
 )
@@ -23,6 +26,43 @@ func ExampleShortestPaths() {
 	// Output:
 	// d(0,4) = 5
 	// route: [0 1 2 3 4]
+}
+
+// ExampleSaveOracle is the build-once/serve-many loop: build an oracle,
+// persist it as a snapshot, restore it in a "serving" process with zero
+// rebuild work, and answer queries through the batched engine.
+func ExampleSaveOracle() {
+	b := repro.NewGraphBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 0, 5)
+	b.AddEdge(3, 4, 2)
+	g := b.Build()
+
+	dir, _ := os.MkdirTemp("", "oracle")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "oracle.snap")
+
+	oracle, _ := repro.ShortestPathsOpts(g, repro.APSPOptions{Workers: 1})
+	if err := repro.SaveOracle(path, oracle); err != nil {
+		fmt.Println("save:", err)
+		return
+	}
+
+	// ...later, in a serving process: load instead of rebuilding.
+	loaded, err := repro.LoadOracle(path)
+	if err != nil {
+		fmt.Println("load:", err)
+		return
+	}
+	engine := repro.NewQueryEngine(loaded, repro.EngineConfig{})
+	d, _ := engine.Query(context.Background(), 0, 4)
+	fmt.Println("d(0,4) =", d)
+	fmt.Println("reachable:", !repro.Unreachable(d))
+	// Output:
+	// d(0,4) = 5
+	// reachable: true
 }
 
 // ExampleMinimumCycleBasis computes the two independent cycles of a theta

@@ -159,6 +159,14 @@ func (o *Oracle) buildForest() {
 			}
 		}
 	}
+	o.buildLifting()
+}
+
+// buildLifting derives the binary-lifting ancestor table from nodeParent.
+// It is shared by construction and snapshot load: the table is a pure
+// function of the parent array, so snapshots store only the latter.
+func (o *Oracle) buildLifting() {
+	n := len(o.nodeParent)
 	levels := 1
 	if n > 1 {
 		levels = bits.Len(uint(n))
@@ -256,7 +264,8 @@ func (o *Oracle) buildAPTable() {
 func (o *Oracle) apAt(i, j int32) graph.Weight { return o.A[int(i)*o.numA+int(j)] }
 
 // Query returns d_G(u, v) for arbitrary vertices. Out-of-range vertices
-// report Inf; use QueryChecked to surface them as errors instead.
+// report Inf silently; new code should prefer QueryChecked, which surfaces
+// them as *QueryError instead.
 func (o *Oracle) Query(u, v int32) graph.Weight {
 	if u < 0 || int(u) >= o.G.NumVertices() || v < 0 || int(v) >= o.G.NumVertices() {
 		return Inf

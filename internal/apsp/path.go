@@ -272,8 +272,8 @@ func reverseWalk(w []int32) []int32 {
 
 // Path returns a shortest u→v walk in the full graph, stitched across
 // biconnected components through the gateway articulation points, or nil
-// if v is unreachable or either vertex is out of range. Use PathChecked to
-// distinguish those cases.
+// if v is unreachable or either vertex is out of range. New code should
+// prefer PathChecked, which distinguishes those cases with typed errors.
 func (o *Oracle) Path(u, v int32) []int32 {
 	w, err := o.PathChecked(u, v)
 	if err != nil {

@@ -1,0 +1,127 @@
+package check
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/apsp"
+	"repro/internal/graph"
+	"repro/internal/snapshot"
+)
+
+// snapshotGraphs is the corpus the snapshot differential sweep runs over:
+// every pathological topology of Corpus(), a spread of random composed
+// graphs, and explicit corner cases the on-disk format must represent
+// exactly (disconnected pieces, isolated vertices, self-loops, parallel
+// edges, zero-weight edges, the empty graph).
+func snapshotGraphs() []NamedGraph {
+	out := Corpus()
+	for seed := uint64(1); seed <= 6; seed++ {
+		out = append(out, NamedGraph{"random", RandomGraph(seed, 24)})
+	}
+	b := graph.NewBuilder(10)
+	b.AddEdge(0, 1, 3)
+	b.AddEdge(1, 2, 0) // zero-weight edge
+	b.AddEdge(2, 0, 2)
+	b.AddEdge(3, 3, 1) // self-loop component
+	b.AddEdge(4, 5, 1)
+	b.AddEdge(5, 4, 2) // parallel pair
+	b.AddEdge(6, 7, 4) // bridge; vertices 8, 9 isolated
+	out = append(out,
+		NamedGraph{"disconnected-mixed", b.Build()},
+		NamedGraph{"empty", graph.FromEdges(0, nil)},
+		NamedGraph{"isolated-only", graph.FromEdges(3, nil)},
+	)
+	return out
+}
+
+// TestSnapshotDifferential asserts the round-tripped oracle is
+// differentially identical to the one that was written: every pair's
+// distance is bit-equal across the full n×n query matrix.
+func TestSnapshotDifferential(t *testing.T) {
+	for _, ng := range snapshotGraphs() {
+		built := apsp.NewOracle(ng.G)
+		var buf bytes.Buffer
+		if _, err := built.WriteTo(&buf); err != nil {
+			t.Fatalf("%s: WriteTo: %v", ng.Name, err)
+		}
+		loaded, err := apsp.ReadOracle(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ReadOracle: %v", ng.Name, err)
+		}
+		n := int32(ng.G.NumVertices())
+		for u := int32(0); u < n; u++ {
+			for v := int32(0); v < n; v++ {
+				a, b := built.Query(u, v), loaded.Query(u, v)
+				if a != b {
+					t.Fatalf("%s: snapshot diverges at d(%d,%d): built %v, loaded %v",
+						ng.Name, u, v, b, a)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotCorruptionNeverPanics is the fuzz-style robustness sweep:
+// single-bit flips and truncations at every stride across a real snapshot
+// must yield an error wrapping one of the typed sentinels — and must never
+// panic, the contract a serving process relies on when handed a bad file.
+func TestSnapshotCorruptionNeverPanics(t *testing.T) {
+	built := apsp.NewOracle(Corpus()[0].G)
+	var buf bytes.Buffer
+	if _, err := built.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	typed := func(err error) bool {
+		return errors.Is(err, snapshot.ErrBadMagic) || errors.Is(err, snapshot.ErrVersionSkew) ||
+			errors.Is(err, snapshot.ErrChecksum) || errors.Is(err, snapshot.ErrCorrupt)
+	}
+	load := func(t *testing.T, in []byte) error {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadOracle panicked: %v", r)
+			}
+		}()
+		_, err := apsp.ReadOracle(bytes.NewReader(in))
+		return err
+	}
+	for pos := 0; pos < len(data); pos += 11 {
+		for _, mask := range []byte{0x01, 0x40} {
+			mut := append([]byte(nil), data...)
+			mut[pos] ^= mask
+			err := load(t, mut)
+			if err == nil {
+				t.Fatalf("bit flip %#x at offset %d accepted", mask, pos)
+			}
+			if !typed(err) {
+				t.Fatalf("bit flip %#x at offset %d: untyped error %v", mask, pos, err)
+			}
+		}
+	}
+	for cut := 0; cut < len(data); cut += 13 {
+		err := load(t, data[:cut])
+		if err == nil || !typed(err) {
+			t.Fatalf("truncation to %d bytes: err = %v, want typed", cut, err)
+		}
+	}
+}
+
+// TestSnapshotVersionSkewTyped covers both version gates: the container's
+// own version field and the oracle payload version inside the meta
+// section.
+func TestSnapshotVersionSkewTyped(t *testing.T) {
+	// Payload skew: a well-formed container whose meta section declares a
+	// future oracle format.
+	w := snapshot.NewWriter()
+	w.Section("meta").U32(1 << 20)
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := apsp.ReadOracle(bytes.NewReader(buf.Bytes())); !errors.Is(err, snapshot.ErrVersionSkew) {
+		t.Fatalf("payload skew: err = %v, want ErrVersionSkew", err)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"repro/internal/snapshot"
 )
 
 // Binary snapshot format for large generated graphs: a fixed header plus
@@ -83,6 +85,51 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		}
 		if w < 0 || math.IsNaN(w) {
 			return nil, fmt.Errorf("graph: edge %d has invalid weight %v", i, w)
+		}
+		edges[i] = Edge{U: u, V: v, W: w}
+	}
+	return FromEdges(int(n), edges), nil
+}
+
+// EncodeSnapshot appends the graph to an oracle-snapshot section: vertex
+// count, edge count, then the raw edge array. The CSR adjacency is not
+// stored; FromEdges rebuilds it deterministically on decode.
+func (g *Graph) EncodeSnapshot(e *snapshot.Encoder) {
+	e.U64(uint64(g.n))
+	e.U64(uint64(len(g.edges)))
+	for _, ed := range g.edges {
+		e.I32(ed.U)
+		e.I32(ed.V)
+		e.F64(ed.W)
+	}
+}
+
+// DecodeSnapshot is EncodeSnapshot's inverse. It validates endpoint
+// ranges and weights, so a decoded graph satisfies every invariant a
+// Builder-built one does; failures wrap snapshot.ErrCorrupt.
+func DecodeSnapshot(d *snapshot.Decoder) (*Graph, error) {
+	n := d.U64()
+	m := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > 1<<31 {
+		return nil, snapshot.Corruptf("graph: %d vertices", n)
+	}
+	if m > uint64(d.Remaining())/16 {
+		return nil, snapshot.Corruptf("graph: %d edges in %d bytes", m, d.Remaining())
+	}
+	edges := make([]Edge, m)
+	for i := range edges {
+		u, v, w := d.I32(), d.I32(), d.F64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if u < 0 || uint64(u) >= n || v < 0 || uint64(v) >= n {
+			return nil, snapshot.Corruptf("graph: edge %d endpoints (%d,%d) outside [0,%d)", i, u, v, n)
+		}
+		if w < 0 || math.IsNaN(w) {
+			return nil, snapshot.Corruptf("graph: edge %d weight %v", i, w)
 		}
 		edges[i] = Edge{U: u, V: v, W: w}
 	}

@@ -274,22 +274,76 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 	return FromEdges(n, edges), nil
 }
 
-// LoadFile reads a graph, selecting the parser by file extension:
-// .mtx → MatrixMarket, .gr/.dimacs → DIMACS, anything else → edge list.
+// Format names one of the supported on-disk graph formats, so graphs can
+// be read from any stream — an HTTP body, embedded testdata, a pipe —
+// rather than only from extension-carrying file paths.
+type Format int
+
+const (
+	// FormatEdgeList is the plain "u v w" edge list (cmd/graphgen's
+	// native output).
+	FormatEdgeList Format = iota
+	// FormatDIMACS is the DIMACS shortest-path format (.gr/.dimacs).
+	FormatDIMACS
+	// FormatMatrixMarket is symmetric coordinate MatrixMarket (.mtx).
+	FormatMatrixMarket
+	// FormatBinary is the .earg binary graph snapshot.
+	FormatBinary
+)
+
+// String names the format for error messages.
+func (f Format) String() string {
+	switch f {
+	case FormatEdgeList:
+		return "edge-list"
+	case FormatDIMACS:
+		return "dimacs"
+	case FormatMatrixMarket:
+		return "matrix-market"
+	case FormatBinary:
+		return "binary"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// FormatFromPath sniffs the format from a file extension, the same rules
+// LoadFile has always applied: .mtx → MatrixMarket, .gr/.dimacs → DIMACS,
+// .earg → binary, anything else → edge list.
+func FormatFromPath(path string) Format {
+	switch {
+	case strings.HasSuffix(path, ".mtx"):
+		return FormatMatrixMarket
+	case strings.HasSuffix(path, ".gr"), strings.HasSuffix(path, ".dimacs"):
+		return FormatDIMACS
+	case strings.HasSuffix(path, ".earg"):
+		return FormatBinary
+	default:
+		return FormatEdgeList
+	}
+}
+
+// Read parses a graph from r in the given format.
+func Read(r io.Reader, format Format) (*Graph, error) {
+	switch format {
+	case FormatEdgeList:
+		return ReadEdgeList(r)
+	case FormatDIMACS:
+		return ReadDIMACS(r)
+	case FormatMatrixMarket:
+		return ReadMatrixMarket(r)
+	case FormatBinary:
+		return ReadBinary(r)
+	}
+	return nil, fmt.Errorf("graph: unknown format %v", format)
+}
+
+// LoadFile reads a graph file, selecting the parser by extension via
+// FormatFromPath.
 func LoadFile(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	switch {
-	case strings.HasSuffix(path, ".mtx"):
-		return ReadMatrixMarket(f)
-	case strings.HasSuffix(path, ".gr"), strings.HasSuffix(path, ".dimacs"):
-		return ReadDIMACS(f)
-	case strings.HasSuffix(path, ".earg"):
-		return ReadBinary(f)
-	default:
-		return ReadEdgeList(f)
-	}
+	return Read(f, FormatFromPath(path))
 }

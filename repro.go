@@ -19,6 +19,7 @@ package repro
 
 import (
 	"io"
+	"os"
 
 	"repro/internal/apsp"
 	"repro/internal/bc"
@@ -28,6 +29,9 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hetero"
 	"repro/internal/mcb"
+	"repro/internal/obs"
+	"repro/internal/qe"
+	"repro/internal/snapshot"
 	"repro/internal/verify"
 )
 
@@ -46,8 +50,31 @@ type (
 // NewGraphBuilder returns a builder for a graph on n vertices 0..n-1.
 func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
 
-// LoadGraph reads a graph file (.mtx MatrixMarket, .gr/.dimacs DIMACS, or
-// plain "u v w" edge list).
+// GraphFormat names one of the supported graph input formats, for reading
+// from arbitrary streams rather than extension-carrying file paths.
+type GraphFormat = graph.Format
+
+// The supported graph formats.
+const (
+	// GraphFormatEdgeList is the plain "u v w" edge list.
+	GraphFormatEdgeList = graph.FormatEdgeList
+	// GraphFormatDIMACS is the DIMACS shortest-path format (.gr/.dimacs).
+	GraphFormatDIMACS = graph.FormatDIMACS
+	// GraphFormatMatrixMarket is symmetric coordinate MatrixMarket (.mtx).
+	GraphFormatMatrixMarket = graph.FormatMatrixMarket
+	// GraphFormatBinary is the binary .earg graph snapshot.
+	GraphFormatBinary = graph.FormatBinary
+)
+
+// GraphFormatFromPath sniffs the format from a file extension (.mtx, .gr,
+// .dimacs, .earg; anything else is treated as an edge list).
+func GraphFormatFromPath(path string) GraphFormat { return graph.FormatFromPath(path) }
+
+// ReadGraph parses a graph from r in the given format.
+func ReadGraph(r io.Reader, format GraphFormat) (*Graph, error) { return graph.Read(r, format) }
+
+// LoadGraph reads a graph file, sniffing the format from the extension via
+// GraphFormatFromPath and delegating to ReadGraph.
 func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
 
 // Ear decomposition.
@@ -72,11 +99,117 @@ type (
 	APSPOracle = apsp.Oracle
 )
 
-// ShortestPaths builds the APSP oracle with the given parallelism
-// (0 = GOMAXPROCS).
-func ShortestPaths(g *Graph, workers int) (*APSPOracle, error) {
-	return core.ShortestPaths(g, workers)
+// APSPOptions configures oracle construction. The zero value is usable:
+// zero Workers selects GOMAXPROCS.
+type APSPOptions struct {
+	// Workers is the parallelism of the per-block processing phase
+	// (0 = GOMAXPROCS).
+	Workers int
 }
+
+// ShortestPathsOpts builds the APSP oracle with explicit options.
+func ShortestPathsOpts(g *Graph, opts APSPOptions) (*APSPOracle, error) {
+	return core.ShortestPaths(g, opts.Workers)
+}
+
+// ShortestPaths builds the APSP oracle with the given parallelism
+// (0 = GOMAXPROCS). It is a thin wrapper over ShortestPathsOpts, kept for
+// existing callers.
+func ShortestPaths(g *Graph, workers int) (*APSPOracle, error) {
+	return ShortestPathsOpts(g, APSPOptions{Workers: workers})
+}
+
+// Oracle snapshots (build-once/serve-many persistence).
+//
+// A snapshot is one checksummed binary file holding everything oracle
+// construction produced — the graph, the per-block ear reductions and
+// distance tables, the block-cut forest, and the articulation table — so a
+// serving process can load it and answer its first query without running
+// any build phase. Corrupt, truncated, or version-skewed files are
+// rejected with errors matching the ErrSnapshot* sentinels (via
+// errors.Is), never a panic.
+
+// Snapshot rejection sentinels.
+var (
+	// ErrSnapshotBadMagic reports input that is not a snapshot at all.
+	ErrSnapshotBadMagic = snapshot.ErrBadMagic
+	// ErrSnapshotVersionSkew reports a snapshot written by an
+	// incompatible format version.
+	ErrSnapshotVersionSkew = snapshot.ErrVersionSkew
+	// ErrSnapshotChecksum reports a section whose checksum does not match
+	// its bytes.
+	ErrSnapshotChecksum = snapshot.ErrChecksum
+	// ErrSnapshotCorrupt reports structurally invalid snapshot contents.
+	ErrSnapshotCorrupt = snapshot.ErrCorrupt
+)
+
+// WriteOracle serialises a built oracle to w.
+func WriteOracle(w io.Writer, o *APSPOracle) (int64, error) { return o.WriteTo(w) }
+
+// ReadOracle restores an oracle from a snapshot stream, with zero
+// re-computation of any build phase.
+func ReadOracle(r io.Reader) (*APSPOracle, error) { return apsp.ReadOracle(r) }
+
+// SaveOracle writes the oracle snapshot to a file.
+func SaveOracle(path string, o *APSPOracle) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := o.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadOracle restores an oracle from a snapshot file written by
+// SaveOracle (or cmd/apsp -snapshot, or oracled -save-snapshot).
+func LoadOracle(path string) (*APSPOracle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return apsp.ReadOracle(f)
+}
+
+// Query serving.
+type (
+	// QueryEngine is the batched query engine of the serving stack: rows
+	// are computed lazily, coalesced across concurrent requests, and kept
+	// in a bounded LRU; admission control sheds excess load with
+	// ErrOverloaded.
+	QueryEngine = qe.Engine
+	// EngineConfig tunes a QueryEngine; the zero value is usable.
+	EngineConfig = qe.Config
+	// RowSource is the oracle surface an engine builds rows from;
+	// *APSPOracle satisfies it.
+	RowSource = qe.RowSource
+)
+
+// ErrOverloaded is returned by engine queries shed by admission control.
+var ErrOverloaded = qe.ErrOverloaded
+
+// NewQueryEngine builds a query engine over any RowSource.
+func NewQueryEngine(src RowSource, cfg EngineConfig) *QueryEngine { return qe.New(src, cfg) }
+
+// Unreachable reports whether a distance returned by an engine query
+// means "no path".
+func Unreachable(d Weight) bool { return qe.Unreachable(d) }
+
+// Observability.
+type (
+	// MetricsRegistry is a concurrent-safe namespace of counters, gauges,
+	// histograms and phase timers, renderable as one JSON object (it
+	// implements expvar.Var).
+	MetricsRegistry = obs.Registry
+)
+
+// Metrics returns the process-wide registry the library records into:
+// oracle build phases under "apsp.build", snapshot save/load under
+// "snapshot", and engine cache/admission counters under "qe.*".
+func Metrics() *MetricsRegistry { return obs.Default }
 
 // Minimum cycle basis.
 type (
@@ -113,13 +246,28 @@ type (
 	BCResult = bc.Result
 )
 
-// BetweennessCentrality computes exact weighted betweenness centrality
-// with the given parallelism (0 = GOMAXPROCS).
-func BetweennessCentrality(g *Graph, workers int) *BCResult {
+// BCOptions configures betweenness centrality. The zero value is usable:
+// zero Workers selects GOMAXPROCS.
+type BCOptions struct {
+	// Workers is the per-source parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// BetweennessCentralityOpts computes exact weighted betweenness
+// centrality with explicit options.
+func BetweennessCentralityOpts(g *Graph, opts BCOptions) *BCResult {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = hetero.Workers()
 	}
 	return bc.Parallel(g, workers)
+}
+
+// BetweennessCentrality computes exact weighted betweenness centrality
+// with the given parallelism (0 = GOMAXPROCS). It is a thin wrapper over
+// BetweennessCentralityOpts, kept for existing callers.
+func BetweennessCentrality(g *Graph, workers int) *BCResult {
+	return BetweennessCentralityOpts(g, BCOptions{Workers: workers})
 }
 
 // Verification certificates.
