@@ -6,8 +6,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cli"
@@ -52,13 +56,21 @@ func main() {
 	fmt.Printf("graph %s: %d vertices, %d edges, cycle space dimension %d\n",
 		name, g.NumVertices(), g.NumEdges(), mcb.Dim(g))
 
+	// Ctrl-C during a long basis build aborts it instead of leaving the
+	// process stuck until the compute finishes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	res := mcb.Compute(g, mcb.Options{
+	res, err := mcb.ComputeCtx(ctx, g, mcb.Options{
 		UseEar:   !*noEar,
 		Platform: p,
 		Workers:  *workers,
 		Seed:     *seed,
 	})
+	if err != nil {
+		cli.Fatalf("mcb", "%v", err)
+	}
 	wall := time.Since(start)
 	fmt.Printf("MCB: %d cycles, total weight %g\n", len(res.Cycles), res.TotalWeight)
 	fmt.Printf("time: %v wall, %.4g virtual seconds on %s\n", wall, res.SimSeconds, p)

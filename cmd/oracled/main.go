@@ -17,12 +17,18 @@
 //	oracled -dataset Planar_1 -save-snapshot oracle.snap     # build once, persist
 //	oracled -load-snapshot oracle.snap                       # boot with zero build work
 //
-//	curl 'localhost:8080/distance?u=0&v=17'
-//	curl 'localhost:8080/path?u=0&v=17'
-//	curl -d '{"sources":[0,3],"targets":[17,42]}' 'localhost:8080/batch'
-//	curl 'localhost:8080/mcb/cycle?i=0'
-//	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/v1/distance?u=0&v=17'
+//	curl 'localhost:8080/v1/path?u=0&v=17'
+//	curl -d '{"sources":[0,3],"targets":[17,42]}' 'localhost:8080/v1/batch'
+//	curl 'localhost:8080/v1/mcb/cycle?i=0'
+//	curl 'localhost:8080/v1/stats'
 //	curl 'localhost:8080/debug/vars'
+//
+// The API is versioned under /v1/. The original unversioned paths still
+// answer identically but are deprecated aliases: they add a
+// "Deprecation: true" header and a Link to the /v1 successor route. All
+// errors use one JSON envelope: {"error": ..., "code": ...,
+// "retry_after_ms": ...} (retry_after_ms present only on back-pressure).
 //
 // Queries are served through the internal/qe engine: per-source distance
 // rows are computed lazily, coalesced across concurrent requests, and kept
@@ -73,12 +79,30 @@ func main() {
 	cli.SetUsage("oracled", "[-file graph | -dataset name | -load-snapshot file] [-addr host:port] [flags]")
 	flag.Parse()
 
+	// Fail fast on contradictory graph sources, before any expensive work:
+	// a snapshot already embeds its graph, so combining -load-snapshot with
+	// -file/-dataset would silently ignore one of them — with -mcb the basis
+	// could then be computed against a different graph than the one served.
+	if *loadSnap != "" && (*file != "" || *dataset != "") {
+		cli.BadUsage("oracled", "-load-snapshot replaces -file/-dataset; do not combine them")
+	}
+	if *withMCB && *loadSnap == "" && *file == "" && *dataset == "" {
+		cli.BadUsage("oracled", "-mcb needs a graph source: give -file, -dataset, or -load-snapshot")
+	}
+
+	// The signal context exists before the build phases, not just the serve
+	// loop, so SIGINT during a long basis computation aborts it promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var (
 		g      *graph.Graph
 		oracle *apsp.Oracle
 	)
 	if *loadSnap != "" {
 		oracle = loadOracleSnapshot(*loadSnap)
+		// Serve — and, with -mcb, compute the basis over — the exact graph
+		// decoded from the snapshot; no other source can skew it.
 		g = oracle.G
 		fmt.Fprintf(os.Stderr, "oracled: snapshot %s (%d vertices, %d edges) loaded in %v — no build phases run\n",
 			*loadSnap, g.NumVertices(), g.NumEdges(), oracle.BuildPhases.Get("snapshot.load"))
@@ -104,7 +128,11 @@ func main() {
 	var basis *mcb.Result
 	if *withMCB {
 		start := time.Now()
-		basis = mcb.Compute(g, mcb.Options{UseEar: true, Workers: *workers, Seed: *seed})
+		var err error
+		basis, err = mcb.ComputeCtx(ctx, g, mcb.Options{UseEar: true, Workers: *workers, Seed: *seed})
+		if err != nil {
+			cli.Fatalf("oracled", "cycle basis: %v", err)
+		}
 		fmt.Fprintf(os.Stderr, "oracled: cycle basis: %d cycles, total weight %g, built in %v\n",
 			len(basis.Cycles), basis.TotalWeight, time.Since(start))
 	}
@@ -120,8 +148,6 @@ func main() {
 		cli.Fatalf("oracled", "listen: %v", err)
 	}
 	srv := &http.Server{Handler: s.mux}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	fmt.Printf("oracled: serving on http://%s\n", ln.Addr())
 	if err := serve(ctx, srv, ln, *drain); err != nil {
 		cli.Fatalf("oracled", "%v", err)

@@ -39,14 +39,31 @@ type server struct {
 	mux    *http.ServeMux
 }
 
+// apiVersion is the current route prefix. Every endpoint is mounted under
+// it; the bare legacy paths remain as aliases that answer identically but
+// carry a Deprecation header plus a Link to their successor, per the
+// deprecation policy in the README.
+const apiVersion = "/v1"
+
 func newServer(g *graph.Graph, oracle *apsp.Oracle, basis *mcb.Result, engine *qe.Engine, reg *obs.Registry) *server {
 	s := &server{g: g, oracle: oracle, basis: basis, engine: engine, reg: reg, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/healthz", s.handle("healthz", s.healthz))
-	s.mux.HandleFunc("/distance", s.handle("distance", s.distance))
-	s.mux.HandleFunc("/path", s.handle("path", s.path))
-	s.mux.HandleFunc("/batch", s.handle("batch", s.batch))
-	s.mux.HandleFunc("/mcb/cycle", s.handle("mcb.cycle", s.mcbCycle))
-	s.mux.HandleFunc("/stats", s.handle("stats", s.stats))
+	for _, ep := range []struct {
+		name, path string
+		fn         func(*http.Request) (interface{}, error)
+	}{
+		{"healthz", "/healthz", s.healthz},
+		{"distance", "/distance", s.distance},
+		{"path", "/path", s.path},
+		{"batch", "/batch", s.batch},
+		{"mcb.cycle", "/mcb/cycle", s.mcbCycle},
+		{"stats", "/stats", s.stats},
+	} {
+		// One handler registered twice, so both routes share the same
+		// oracled.<name>.* metrics and answer bit-identically.
+		h := s.handle(ep.name, ep.fn)
+		s.mux.Handle(apiVersion+ep.path, h)
+		s.mux.Handle(ep.path, deprecated(apiVersion+ep.path, h))
+	}
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -54,6 +71,17 @@ func newServer(g *graph.Graph, oracle *apsp.Oracle, basis *mcb.Result, engine *q
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// deprecated wraps a legacy unversioned route: same handler, plus the
+// RFC 9745 Deprecation header and a successor-version Link so clients can
+// discover the /v1 path mechanically.
+func deprecated(successor string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h.ServeHTTP(w, r)
+	})
 }
 
 // httpError carries a status code through the handler return path.
@@ -65,9 +93,38 @@ type httpError struct {
 func (e *httpError) Error() string { return e.err.Error() }
 func (e *httpError) Unwrap() error { return e.err }
 
+// errorEnvelope is the uniform JSON error body every endpoint returns:
+// a human-readable message, a stable machine-readable code, and — for
+// back-pressure responses only — how long to wait before retrying.
+type errorEnvelope struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// errorCode maps an HTTP status to the envelope's machine-readable code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	case http.StatusInternalServerError:
+		return "internal"
+	}
+	return "error"
+}
+
 // handle wraps an endpoint with the standard metrics — request and error
 // counters plus a latency histogram, named oracled.<endpoint>.{requests,
-// errors, latency} — and JSON encoding of both results and errors.
+// errors, latency} — and JSON encoding of both results and errors. Every
+// error, whatever the endpoint, renders as the one errorEnvelope shape.
 func (s *server) handle(name string, fn func(r *http.Request) (interface{}, error)) http.HandlerFunc {
 	reqs := s.reg.Counter("oracled." + name + ".requests")
 	errs := s.reg.Counter("oracled." + name + ".errors")
@@ -81,6 +138,7 @@ func (s *server) handle(name string, fn func(r *http.Request) (interface{}, erro
 		if err != nil {
 			errs.Inc()
 			status := http.StatusBadRequest
+			env := errorEnvelope{Error: err.Error()}
 			var he *httpError
 			switch {
 			case errors.As(err, &he):
@@ -89,12 +147,17 @@ func (s *server) handle(name string, fn func(r *http.Request) (interface{}, erro
 				// Load shedding is explicit back-pressure, not a server
 				// fault: tell well-behaved clients when to come back.
 				w.Header().Set("Retry-After", "1")
+				env.RetryAfterMS = 1000
+				env.Code = "overloaded"
 				status = http.StatusServiceUnavailable
 			case errors.Is(err, context.DeadlineExceeded):
 				status = http.StatusGatewayTimeout
 			}
+			if env.Code == "" {
+				env.Code = errorCode(status)
+			}
 			w.WriteHeader(status)
-			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			json.NewEncoder(w).Encode(env)
 			return
 		}
 		json.NewEncoder(w).Encode(out)

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/qe"
+)
+
+// TestV1LegacyEquivalence asserts every endpoint answers identically under
+// its /v1 route and its legacy alias — same status, same body — and that
+// only the legacy alias carries the deprecation headers pointing at its
+// successor.
+func TestV1LegacyEquivalence(t *testing.T) {
+	s, _, _ := testServer(t)
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	paths := []string{
+		"/healthz",
+		"/distance?u=0&v=5",
+		"/path?u=0&v=5",
+		"/mcb/cycle?i=0",
+		"/distance?u=zero&v=1", // error bodies must match too
+		"/mcb/cycle?i=99999",
+	}
+	for _, p := range paths {
+		legacy := fetch(t, ts, p)
+		v1 := fetch(t, ts, "/v1"+p)
+		if legacy.status != v1.status {
+			t.Fatalf("%s: legacy status %d, /v1 status %d", p, legacy.status, v1.status)
+		}
+		if legacy.body != v1.body {
+			t.Fatalf("%s: legacy body %q != /v1 body %q", p, legacy.body, v1.body)
+		}
+		base := strings.SplitN(p, "?", 2)[0]
+		if legacy.deprecation != "true" {
+			t.Fatalf("%s: legacy route missing Deprecation header", p)
+		}
+		if want := fmt.Sprintf("</v1%s>; rel=\"successor-version\"", base); legacy.link != want {
+			t.Fatalf("%s: legacy Link = %q, want %q", p, legacy.link, want)
+		}
+		if v1.deprecation != "" || v1.link != "" {
+			t.Fatalf("/v1%s: versioned route must not carry deprecation headers (got %q, %q)",
+				p, v1.deprecation, v1.link)
+		}
+	}
+
+	// POST endpoint: same body both ways, deprecation only on legacy.
+	body := `{"sources":[0,3],"targets":[1,5]}`
+	lr, _ := ts.Client().Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+	lb, _ := io.ReadAll(lr.Body)
+	lr.Body.Close()
+	vr, _ := ts.Client().Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+	vb, _ := io.ReadAll(vr.Body)
+	vr.Body.Close()
+	if lr.StatusCode != 200 || vr.StatusCode != 200 || string(lb) != string(vb) {
+		t.Fatalf("batch: legacy (%d, %q) vs v1 (%d, %q)", lr.StatusCode, lb, vr.StatusCode, vb)
+	}
+	if lr.Header.Get("Deprecation") != "true" || vr.Header.Get("Deprecation") != "" {
+		t.Fatal("batch deprecation headers wrong way round")
+	}
+
+	// Both spellings of an endpoint feed one metrics family.
+	stats := getJSON(t, ts, "/v1/stats", 200)
+	if _, ok := stats["oracled.distance.requests"]; !ok {
+		t.Fatalf("stats missing shared counter: %v", stats)
+	}
+}
+
+type fetched struct {
+	status            int
+	body              string
+	deprecation, link string
+}
+
+func fetch(t *testing.T, ts *httptest.Server, path string) fetched {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return fetched{resp.StatusCode, string(b), resp.Header.Get("Deprecation"), resp.Header.Get("Link")}
+}
+
+// TestErrorEnvelope asserts every failure shape renders as the uniform
+// {"error", "code", "retry_after_ms"} envelope with the right code.
+func TestErrorEnvelope(t *testing.T) {
+	s, _, _ := testServer(t)
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		path   string
+		status int
+		code   string
+	}{
+		{"/v1/distance?u=zero&v=1", 400, "bad_request"},
+		{"/v1/mcb/cycle?i=notanumber", 400, "bad_request"},
+		{"/v1/mcb/cycle?i=99999", 404, "not_found"},
+		{"/v1/batch", 405, "method_not_allowed"}, // GET on a POST-only route
+	} {
+		out := getJSON(t, ts, tc.path, tc.status)
+		if out["error"] == "" || out["error"] == nil {
+			t.Fatalf("%s: missing error message: %v", tc.path, out)
+		}
+		if out["code"] != tc.code {
+			t.Fatalf("%s: code = %v, want %q", tc.path, out["code"], tc.code)
+		}
+		if _, present := out["retry_after_ms"]; present {
+			t.Fatalf("%s: retry_after_ms on a non-back-pressure error: %v", tc.path, out)
+		}
+	}
+
+	// Missing basis → 503 "unavailable", still no retry hint.
+	s2, _, _ := testServer(t)
+	s2.basis = nil
+	ts2 := httptest.NewServer(s2.mux)
+	defer ts2.Close()
+	out := getJSON(t, ts2, "/v1/mcb/cycle?i=0", 503)
+	if out["code"] != "unavailable" {
+		t.Fatalf("missing basis: code = %v, want unavailable", out["code"])
+	}
+}
+
+// TestOverloadEnvelope drives the load-shedding path and asserts the 503
+// carries code "overloaded" plus a machine-readable retry_after_ms that
+// agrees with the Retry-After header.
+func TestOverloadEnvelope(t *testing.T) {
+	s, _, _ := testServer(t)
+	gate := make(chan struct{})
+	began := make(chan struct{}, 1)
+	src := &blockingSource{n: s.g.NumVertices(), oracle: s.oracle, gate: gate, began: began}
+	s.engine = qe.New(src, qe.Config{CacheRows: 4, MaxInflight: 1, QueueDepth: 0, Reg: obs.NewRegistry()})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Get(ts.URL + "/v1/distance?u=0&v=1")
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	<-began
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/distance?u=2&v=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q, want 1", resp.Header.Get("Retry-After"))
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["code"] != "overloaded" {
+		t.Fatalf("code = %v, want overloaded", out["code"])
+	}
+	if out["retry_after_ms"] != float64(1000) {
+		t.Fatalf("retry_after_ms = %v, want 1000", out["retry_after_ms"])
+	}
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+}

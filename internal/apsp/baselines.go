@@ -1,6 +1,8 @@
 package apsp
 
 import (
+	"context"
+
 	"repro/internal/ear"
 	"repro/internal/graph"
 	"repro/internal/hetero"
@@ -123,5 +125,8 @@ func identityReduction(g *graph.Graph) *ear.Reduced {
 // against NewOracle isolates exactly the contribution of the ear
 // decomposition, which is how the paper frames the comparison.
 func NewBanerjee(g *graph.Graph, workers int) *Oracle {
-	return newOracle(g, func(sub *graph.Graph) *EarAPSP { return NewFlatAPSP(sub, workers) })
+	o, _ := newOracle(context.Background(), g, func(_ context.Context, sub *graph.Graph) (*EarAPSP, error) {
+		return NewFlatAPSP(sub, workers), nil
+	})
+	return o
 }

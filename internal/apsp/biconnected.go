@@ -14,6 +14,8 @@
 package apsp
 
 import (
+	"context"
+
 	"repro/internal/ear"
 	"repro/internal/graph"
 	"repro/internal/hetero"
@@ -64,6 +66,15 @@ func NewEarAPSP(g *graph.Graph) *EarAPSP {
 // real goroutine workers (one Dijkstra instance per thread, as the paper
 // runs the CPU side).
 func NewEarAPSPParallel(g *graph.Graph, workers int) *EarAPSP {
+	a, _ := NewEarAPSPParallelCtx(context.Background(), g, workers)
+	return a
+}
+
+// NewEarAPSPParallelCtx is NewEarAPSPParallel with cooperative
+// cancellation: the per-source Dijkstra fan-out stops claiming sources
+// once ctx is done and the context error is returned with no (partial)
+// result. With a background context it never fails.
+func NewEarAPSPParallelCtx(ctx context.Context, g *graph.Graph, workers int) (*EarAPSP, error) {
 	red := ear.Reduce(g, ear.APSP)
 	a := &EarAPSP{G: g, Red: red, nr: red.R.NumVertices()}
 	a.SR = make([]graph.Weight, a.nr*a.nr)
@@ -75,13 +86,15 @@ func NewEarAPSPParallel(g *graph.Graph, workers int) *EarAPSP {
 	for i := range scratch {
 		scratch[i] = sssp.NewScratch(a.nr)
 	}
-	hetero.ParallelFor(workers, a.nr, func(w, s int) {
+	if err := hetero.ParallelForCtx(ctx, workers, a.nr, func(w, s int) {
 		relax[w] += sssp.DistancesOnly(red.R, int32(s), a.SR[s*a.nr:(s+1)*a.nr], scratch[w])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, r := range relax {
 		a.Relaxations += r
 	}
-	return a
+	return a, nil
 }
 
 // NewEarAPSPSim runs the processing phase under the simulated

@@ -1,6 +1,7 @@
 package apsp
 
 import (
+	"context"
 	"math/bits"
 
 	"repro/internal/bcc"
@@ -70,7 +71,10 @@ type Oracle struct {
 
 // NewOracle builds the oracle sequentially.
 func NewOracle(g *graph.Graph) *Oracle {
-	return newOracle(g, func(sub *graph.Graph) *EarAPSP { return NewEarAPSP(sub) })
+	o, _ := newOracle(context.Background(), g, func(_ context.Context, sub *graph.Graph) (*EarAPSP, error) {
+		return NewEarAPSP(sub), nil
+	})
+	return o
 }
 
 // NewOracleParallel builds the oracle with the per-block processing phase
@@ -78,10 +82,23 @@ func NewOracle(g *graph.Graph) *Oracle {
 // Dijkstra loop is itself the unit of work, mirroring the paper's
 // per-component work-units).
 func NewOracleParallel(g *graph.Graph, workers int) *Oracle {
-	return newOracle(g, func(sub *graph.Graph) *EarAPSP { return NewEarAPSPParallel(sub, workers) })
+	o, _ := NewOracleParallelCtx(context.Background(), g, workers)
+	return o
 }
 
-func newOracle(g *graph.Graph, mk func(*graph.Graph) *EarAPSP) *Oracle {
+// NewOracleParallelCtx is NewOracleParallel with cooperative cancellation:
+// the build checks ctx between biconnected components and between the
+// per-source Dijkstra units inside each component, so cancelling a request
+// or hitting a deadline abandons a long build promptly. On cancellation it
+// returns a nil oracle and the context error; no build metrics are
+// recorded for abandoned builds. With a background context it never fails.
+func NewOracleParallelCtx(ctx context.Context, g *graph.Graph, workers int) (*Oracle, error) {
+	return newOracle(ctx, g, func(c context.Context, sub *graph.Graph) (*EarAPSP, error) {
+		return NewEarAPSPParallelCtx(c, sub, workers)
+	})
+}
+
+func newOracle(ctx context.Context, g *graph.Graph, mk func(context.Context, *graph.Graph) (*EarAPSP, error)) (*Oracle, error) {
 	phases := &obs.Phases{}
 	stop := phases.Start("bcc")
 	dec := bcc.Compute(g)
@@ -92,11 +109,18 @@ func newOracle(g *graph.Graph, mk func(*graph.Graph) *EarAPSP) *Oracle {
 	subs := dec.Subgraphs(g)
 	o.Blocks = make([]*BlockAPSP, len(subs))
 	for i, sub := range subs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		blk := &BlockAPSP{Sub: sub, localOf: make(map[int32]int32, len(sub.ToParentVertex))}
 		for local, parent := range sub.ToParentVertex {
 			blk.localOf[parent] = int32(local)
 		}
-		blk.Ear = mk(sub.G)
+		ea, err := mk(ctx, sub.G)
+		if err != nil {
+			return nil, err
+		}
+		blk.Ear = ea
 		o.Relaxations += blk.Ear.Relaxations
 		o.Blocks[i] = blk
 	}
@@ -113,7 +137,7 @@ func newOracle(g *graph.Graph, mk func(*graph.Graph) *EarAPSP) *Oracle {
 	}
 	obs.Default.Counter("apsp.builds").Inc()
 	obs.Default.Counter("apsp.build.relaxations").Add(o.Relaxations)
-	return o
+	return o, nil
 }
 
 // buildForest roots the bipartite block-cut forest and prepares binary

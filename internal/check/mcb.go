@@ -42,6 +42,68 @@ func MCB(g *graph.Graph, seed uint64) error {
 	return nil
 }
 
+// MCBParallel checks that the parallel MCB pipeline is bit-identical to the
+// sequential one: for every worker count in workers, the basis (dimension,
+// total weight, cycle count, and each cycle's weight and exact edge slice,
+// in order) and the per-phase work counters must equal the Workers=1 run.
+// Both the ear-reduced and the unreduced arm are swept, since they exercise
+// different component structure. This is stronger than weight equality —
+// the determinism argument (fixed merge order, earliest-hit scan, per-unit
+// witness ownership) promises the same bytes, so the test demands them.
+func MCBParallel(g *graph.Graph, seed uint64, workers ...int) error {
+	if seed == 0 {
+		seed = 1
+	}
+	if len(workers) == 0 {
+		workers = []int{2, 8}
+	}
+	for _, useEar := range []bool{true, false} {
+		seq := mcb.Compute(g, mcb.Options{UseEar: useEar, Seed: seed, Workers: 1})
+		for _, w := range workers {
+			par := mcb.Compute(g, mcb.Options{UseEar: useEar, Seed: seed, Workers: w})
+			if err := sameBasis(seq, par); err != nil {
+				return fmt.Errorf("check: ear=%v workers=%d vs sequential: %w", useEar, w, err)
+			}
+		}
+	}
+	return nil
+}
+
+// sameBasis demands bitwise equality of two MCB results: same dimension,
+// weight, cycles in the same order with the same edge IDs, and the same
+// work counters.
+func sameBasis(a, b *mcb.Result) error {
+	if a.Dim != b.Dim {
+		return fmt.Errorf("dim %d != %d", a.Dim, b.Dim)
+	}
+	if a.TotalWeight != b.TotalWeight {
+		return fmt.Errorf("total weight %g != %g", a.TotalWeight, b.TotalWeight)
+	}
+	if len(a.Cycles) != len(b.Cycles) {
+		return fmt.Errorf("cycle count %d != %d", len(a.Cycles), len(b.Cycles))
+	}
+	for i := range a.Cycles {
+		ca, cb := a.Cycles[i], b.Cycles[i]
+		if ca.Weight != cb.Weight {
+			return fmt.Errorf("cycle %d weight %g != %g", i, ca.Weight, cb.Weight)
+		}
+		if len(ca.Edges) != len(cb.Edges) {
+			return fmt.Errorf("cycle %d has %d edges vs %d", i, len(ca.Edges), len(cb.Edges))
+		}
+		for j := range ca.Edges {
+			if ca.Edges[j] != cb.Edges[j] {
+				return fmt.Errorf("cycle %d edge %d: id %d != %d", i, j, ca.Edges[j], cb.Edges[j])
+			}
+		}
+	}
+	if a.TreeOps != b.TreeOps || a.LabelOps != b.LabelOps ||
+		a.SearchOps != b.SearchOps || a.UpdateOps != b.UpdateOps {
+		return fmt.Errorf("work counters (tree %d/%d, label %d/%d, search %d/%d, update %d/%d) differ",
+			a.TreeOps, b.TreeOps, a.LabelOps, b.LabelOps, a.SearchOps, b.SearchOps, a.UpdateOps, b.UpdateOps)
+	}
+	return nil
+}
+
 // MCBWitness runs MCB and, on failure, shrinks g to a locally edge-minimal
 // subgraph on which the comparison still fails. It returns the witness (nil
 // if the failure did not reproduce while shrinking) and the original error.

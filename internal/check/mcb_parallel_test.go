@@ -1,0 +1,61 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// parallelWorkerCounts is the sweep the acceptance bar names: the
+// sequential baseline plus a small and a large pool. MCBParallel always
+// compares against Workers=1 internally, so listing 1 here additionally
+// asserts the trivial self-comparison stays clean.
+var parallelWorkerCounts = []int{1, 2, 8}
+
+// awkwardGraphs are shapes the generator corpus under-represents but the
+// parallel merge must still get right: disconnected components (per-BCC
+// fan-out with empty pieces), self-loops (weight-0 candidate fast path),
+// and parallel edges (two-edge cycles competing in the candidate scan).
+func awkwardGraphs() []NamedGraph {
+	return []NamedGraph{
+		{"disconnected-triangles", graph.FromEdges(7, []graph.Edge{
+			{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 0, W: 3},
+			{U: 3, V: 4, W: 1}, {U: 4, V: 5, W: 1}, {U: 5, V: 3, W: 5},
+			// vertex 6 is isolated
+		})},
+		{"self-loops", graph.FromEdges(4, []graph.Edge{
+			{U: 0, V: 0, W: 2}, {U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1},
+			{U: 2, V: 0, W: 1}, {U: 2, V: 2, W: 7},
+		})},
+		{"parallel-edges", graph.FromEdges(3, []graph.Edge{
+			{U: 0, V: 1, W: 1}, {U: 0, V: 1, W: 4}, {U: 1, V: 2, W: 2},
+			{U: 1, V: 2, W: 2}, {U: 2, V: 0, W: 3},
+		})},
+		{"lone-vertex", graph.FromEdges(1, nil)},
+	}
+}
+
+func TestMCBParallelCorpus(t *testing.T) {
+	for _, ng := range Corpus() {
+		if err := MCBParallel(ng.G, 7, parallelWorkerCounts...); err != nil {
+			t.Fatalf("%s: %v", ng.Name, err)
+		}
+	}
+}
+
+func TestMCBParallelAwkward(t *testing.T) {
+	for _, ng := range awkwardGraphs() {
+		if err := MCBParallel(ng.G, 7, parallelWorkerCounts...); err != nil {
+			t.Fatalf("%s: %v", ng.Name, err)
+		}
+	}
+}
+
+func TestMCBParallelRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		g := RandomGraph(seed, 14)
+		if err := MCBParallel(g, seed, parallelWorkerCounts...); err != nil {
+			t.Fatalf("seed %d (n=%d m=%d): %v", seed, g.NumVertices(), g.NumEdges(), err)
+		}
+	}
+}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apsp"
@@ -30,15 +31,24 @@ import (
 // ShortestPaths computes an all-pairs shortest path oracle for g using the
 // ear-decomposition algorithm with the given number of parallel workers
 // (0 selects GOMAXPROCS). The returned oracle answers Query(u,v) in O(1)
-// using O(a² + Σ nᵢ²) memory instead of O(n²).
+// using O(a² + Σ nᵢ²) memory instead of O(n²). It is ShortestPathsCtx with
+// a background context.
 func ShortestPaths(g *graph.Graph, workers int) (*apsp.Oracle, error) {
+	return ShortestPathsCtx(context.Background(), g, workers)
+}
+
+// ShortestPathsCtx is ShortestPaths with cooperative cancellation: the
+// oracle build checks ctx between biconnected components and between the
+// per-source Dijkstra units inside each, so a cancelled request or an
+// expired deadline abandons the build promptly with the context error.
+func ShortestPathsCtx(ctx context.Context, g *graph.Graph, workers int) (*apsp.Oracle, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
 	if workers <= 0 {
 		workers = hetero.Workers()
 	}
-	return apsp.NewOracleParallel(g, workers), nil
+	return apsp.NewOracleParallelCtx(ctx, g, workers)
 }
 
 // MinimumCycleBasis computes a minimum weight cycle basis of g with the
@@ -51,12 +61,34 @@ func MinimumCycleBasis(g *graph.Graph) (*mcb.Result, error) {
 	})
 }
 
-// MinimumCycleBasisOpts is MinimumCycleBasis with explicit options.
+// MinimumCycleBasisCtx is MinimumCycleBasis with cooperative cancellation
+// (see MinimumCycleBasisOptsCtx).
+func MinimumCycleBasisCtx(ctx context.Context, g *graph.Graph) (*mcb.Result, error) {
+	return MinimumCycleBasisOptsCtx(ctx, g, mcb.Options{
+		UseEar:  true,
+		Workers: hetero.Workers(),
+	})
+}
+
+// MinimumCycleBasisOpts is MinimumCycleBasis with explicit options. It is
+// MinimumCycleBasisOptsCtx with a background context.
 func MinimumCycleBasisOpts(g *graph.Graph, opts mcb.Options) (*mcb.Result, error) {
+	return MinimumCycleBasisOptsCtx(context.Background(), g, opts)
+}
+
+// MinimumCycleBasisOptsCtx is MinimumCycleBasisOpts honouring ctx: the
+// pipeline checks the context between components, between De Pina phases,
+// and between the parallel work units of each phase, so cancellation stops
+// candidate-tree construction mid-flight. On cancellation it returns an
+// error wrapping ctx.Err().
+func MinimumCycleBasisOptsCtx(ctx context.Context, g *graph.Graph, opts mcb.Options) (*mcb.Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
-	res := mcb.Compute(g, opts)
+	res, err := mcb.ComputeCtx(ctx, g, opts)
+	if err != nil {
+		return nil, err
+	}
 	if want := mcb.Dim(g); res.Dim != want {
 		return nil, fmt.Errorf("core: internal error: basis dimension %d, want %d", res.Dim, want)
 	}

@@ -1,0 +1,128 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// batchWalk drains l through BatchFrom in windows of max, resuming from the
+// returned cursor, and returns every value seen.
+func batchWalk(l *ChunkedList, max int) []uint32 {
+	var out []uint32
+	var cur Cursor
+	vals := make([]uint32, 0, max)
+	curs := make([]Cursor, 0, max)
+	for {
+		vals, curs, cur = l.BatchFrom(cur, max, vals[:0], curs[:0])
+		if len(vals) == 0 {
+			return out
+		}
+		out = append(out, vals...)
+		if len(vals) < max { // partial window: the list is exhausted
+			return out
+		}
+		_ = curs
+	}
+}
+
+func TestBatchFromMatchesCollect(t *testing.T) {
+	for _, chunk := range []int{1, 3, 8} {
+		for _, max := range []int{1, 2, 5, 100} {
+			l := NewChunkedList(chunk)
+			for i := 0; i < 37; i++ {
+				l.Append(uint32(i * 3))
+			}
+			got := batchWalk(l, max)
+			want := l.Collect()
+			if len(got) != len(want) {
+				t.Fatalf("chunk=%d max=%d: walked %d values, Collect has %d", chunk, max, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("chunk=%d max=%d: value %d = %d, want %d", chunk, max, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBatchFromEmpty(t *testing.T) {
+	l := NewChunkedList(4)
+	vals, curs, _ := l.BatchFrom(Cursor{}, 10, nil, nil)
+	if len(vals) != 0 || len(curs) != 0 {
+		t.Fatalf("empty list: got %d values, %d cursors", len(vals), len(curs))
+	}
+}
+
+func TestBatchFromCursorsRemovable(t *testing.T) {
+	// Each cursor a batch hands back must be valid for Remove — that is
+	// exactly how the parallel candidate scan deletes its chosen cycle.
+	l := NewChunkedList(4)
+	for i := 0; i < 10; i++ {
+		l.Append(uint32(i))
+	}
+	vals, curs, _ := l.BatchFrom(Cursor{}, 10, nil, nil)
+	if len(vals) != 10 {
+		t.Fatalf("got %d values, want 10", len(vals))
+	}
+	l.Remove(curs[7])
+	want := []uint32{0, 1, 2, 3, 4, 5, 6, 8, 9}
+	got := l.Collect()
+	if len(got) != len(want) {
+		t.Fatalf("after remove: %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("after remove: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBatchFromSkipsRemoved(t *testing.T) {
+	l := NewChunkedList(16) // large chunk: removals mark in place, no compaction
+	for i := 0; i < 12; i++ {
+		l.Append(uint32(i))
+	}
+	_, curs, _ := l.BatchFrom(Cursor{}, 12, nil, nil)
+	l.Remove(curs[0])
+	l.Remove(curs[5])
+	l.Remove(curs[11])
+	vals, _, _ := l.BatchFrom(Cursor{}, 12, nil, nil)
+	want := []uint32{1, 2, 3, 4, 6, 7, 8, 9, 10}
+	if len(vals) != len(want) {
+		t.Fatalf("after removals got %v, want %v", vals, want)
+	}
+	for i := range vals {
+		if vals[i] != want[i] {
+			t.Fatalf("after removals got %v, want %v", vals, want)
+		}
+	}
+}
+
+// Property: windowed batching agrees with a cursor Scan for random
+// append/remove interleavings and window sizes.
+func TestBatchFromProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		l := NewChunkedList(1 + rng.Intn(7))
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			l.Append(uint32(rng.Intn(1000)))
+		}
+		// Random removals through fresh batch cursors.
+		for k := rng.Intn(5); k > 0 && l.Len() > 0; k-- {
+			_, curs, _ := l.BatchFrom(Cursor{}, l.Len(), nil, nil)
+			l.Remove(curs[rng.Intn(len(curs))])
+		}
+		got := batchWalk(l, 1+rng.Intn(9))
+		want := l.Collect()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: walked %d values, Collect has %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: value %d = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -110,6 +110,40 @@ func (l *ChunkedList) ScanFrom(cur Cursor, visit func(v uint32) bool) (Cursor, b
 	return Cursor{}, false
 }
 
+// BatchFrom collects up to max live elements starting after cur — or from
+// the head when cur is the zero Cursor — appending each value to vals and
+// its cursor to curs (the two slices grow in lockstep). It returns the
+// extended slices and the cursor of the last collected element, which can
+// be passed back in to resume the walk. The parallel MCB scan uses this to
+// carve the candidate store into windows that many workers evaluate
+// together while removal still targets exactly one inspected element.
+// Like every cursor, the returned ones are invalidated by Remove on the
+// same node; collect, remove at most once, then re-batch.
+func (l *ChunkedList) BatchFrom(cur Cursor, max int, vals []uint32, curs []Cursor) ([]uint32, []Cursor, Cursor) {
+	c := cur.c
+	start := 0
+	if c == nil {
+		c = l.head
+	} else {
+		start = cur.i + 1
+	}
+	last := cur
+	for ; c != nil && max > 0; c = c.next {
+		for i := start; i < len(c.data) && max > 0; i++ {
+			v := c.data[i]
+			if v&removedBit != 0 {
+				continue
+			}
+			vals = append(vals, uint32(v))
+			curs = append(curs, Cursor{c, i})
+			last = Cursor{c, i}
+			max--
+		}
+		start = 0
+	}
+	return vals, curs, last
+}
+
 // Remove marks the element under the cursor as deleted and compacts the
 // containing node once at least half of its elements are marked.
 // Compaction rewrites the node in place, so Remove invalidates every

@@ -1,6 +1,7 @@
 package hetero
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -19,11 +20,27 @@ func Workers() int { return runtime.GOMAXPROCS(0) }
 // workers using a dynamic counter (small grain, good balance for skewed
 // per-iteration work like per-source Dijkstra).
 func ParallelFor(workers, n int, fn func(worker, i int)) {
+	ParallelForCtx(context.Background(), workers, n, fn)
+}
+
+// ParallelForCtx is ParallelFor with cooperative cancellation: no new index
+// is claimed once ctx is done, in-flight iterations finish, and the context
+// error (if any) is returned. Iterations that never ran leave their outputs
+// untouched, so callers must treat a non-nil error as "results invalid".
+// With a background context it behaves exactly like ParallelFor and returns
+// nil, so the cancellation check costs one channel poll per claimed index.
+func ParallelForCtx(ctx context.Context, workers, n int, fn func(worker, i int)) error {
+	done := ctx.Done()
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			fn(0, i)
 		}
-		return
+		return nil
 	}
 	if workers > n {
 		workers = n
@@ -35,6 +52,11 @@ func ParallelFor(workers, n int, fn func(worker, i int)) {
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
@@ -44,6 +66,7 @@ func ParallelFor(workers, n int, fn func(worker, i int)) {
 		}(w)
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // HybridRun drains the deque with cpuWorkers goroutines popping small

@@ -1,0 +1,71 @@
+package mcb
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// The 28×28 triangulated grid is big enough that a full compute takes
+// visibly longer than the cancellation latency asserted here, yet still
+// finishes fast enough to keep the bounds honest on slow CI machines.
+
+func TestComputeCtxPreCancelled(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 9}
+	rng := gen.NewRNG(5)
+	g := gen.TriangulatedGrid(28, 28, cfg, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := ComputeCtx(ctx, g, Options{UseEar: true, Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ComputeCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("ComputeCtx on cancelled ctx returned a non-nil result")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("pre-cancelled compute took %v, want near-immediate return", d)
+	}
+}
+
+func TestComputeCtxMidFlightCancel(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 9}
+	rng := gen.NewRNG(5)
+	g := gen.TriangulatedGrid(28, 28, cfg, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := ComputeCtx(ctx, g, Options{UseEar: true, Workers: 4})
+		done <- err
+	}()
+	// Let the pipeline get into the candidate/label phases, then pull the
+	// plug and demand a prompt exit with the context error.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		// A fast machine may legitimately finish the whole basis before the
+		// cancel lands; only a slow, *ignored* cancellation is a failure.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-flight cancel: err = %v, want nil or context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("ComputeCtx did not return within 10s of cancellation")
+	}
+}
+
+func TestComputeCtxDeadline(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 9}
+	rng := gen.NewRNG(5)
+	g := gen.TriangulatedGrid(28, 28, cfg, rng)
+	ctx, cancel := context.WithTimeout(context.Background(), 1)
+	defer cancel()
+	time.Sleep(time.Millisecond) // ensure the 1ns deadline has passed
+	if _, err := ComputeCtx(ctx, g, Options{UseEar: true, Workers: 4}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ComputeCtx past deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+}

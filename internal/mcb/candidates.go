@@ -1,9 +1,11 @@
 package mcb
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/hetero"
 	"repro/internal/sssp"
 )
 
@@ -32,29 +34,56 @@ type candidateSet struct {
 	Rejected int64
 }
 
-// buildCandidates constructs the shortest path trees from each root and
+// buildCandidates is the sequential entry point kept for the Horton
+// baseline; it cannot fail because the background context never cancels.
+func buildCandidates(g *graph.Graph, roots []int32) *candidateSet {
+	cs, _ := buildCandidatesCtx(context.Background(), g, roots, 1)
+	return cs
+}
+
+// buildCandidatesCtx constructs the shortest path trees from each root and
 // enumerates the candidate cycles, applying the Mehlhorn–Michail filter:
 // keep C_ze only when z is the least common ancestor of e's endpoints in
 // T_z (Section 3.3.2), which prunes the Horton set to the isometric
 // candidates; Rejected records the pruned count.
-func buildCandidates(g *graph.Graph, roots []int32) *candidateSet {
+//
+// Both stages fan out over a workers-sized pool, one root per work unit:
+// every root's tree and candidate list depend only on the (immutable) graph
+// and that root, so the per-root outputs land in pre-sized slots and are
+// merged in root order afterwards. The merged list — and therefore the
+// stable weight sort below — is bit-identical to a sequential run at any
+// worker count. Cancelling ctx stops the fan-out between work units and
+// returns the context error with no candidate set.
+func buildCandidatesCtx(ctx context.Context, g *graph.Graph, roots []int32, workers int) (*candidateSet, error) {
 	cs := &candidateSet{g: g, roots: roots}
 	cs.trees = make([]*sssp.Tree, len(roots))
 	cs.depths = make([]int, len(roots))
-	for ri, z := range roots {
-		res := sssp.Dijkstra(g, z, nil)
-		cs.TreeOps += res.Relaxations
+	treeOps := make([]int64, len(roots))
+	err := hetero.ParallelForCtx(ctx, workers, len(roots), func(_, ri int) {
+		res := sssp.Dijkstra(g, roots[ri], nil)
+		treeOps[ri] = res.Relaxations
 		t := sssp.BuildTree(res)
 		cs.trees[ri] = t
+		depth := 0
 		for _, v := range t.Order {
-			if int(t.Depth[v]) > cs.depths[ri] {
-				cs.depths[ri] = int(t.Depth[v])
+			if int(t.Depth[v]) > depth {
+				depth = int(t.Depth[v])
 			}
 		}
-		cs.depths[ri]++ // sweeps = height+1
+		cs.depths[ri] = depth + 1 // sweeps = height+1
+	})
+	if err != nil {
+		return nil, err
 	}
-	for ri, z := range roots {
+	for _, ops := range treeOps {
+		cs.TreeOps += ops
+	}
+	perRoot := make([][]candidate, len(roots))
+	rejected := make([]int64, len(roots))
+	err = hetero.ParallelForCtx(ctx, workers, len(roots), func(_, ri int) {
+		z := roots[ri]
 		t := cs.trees[ri]
+		var out []candidate
 		for eid, e := range g.Edges() {
 			if e.U == e.V {
 				continue // self-loops handled once below
@@ -71,12 +100,20 @@ func buildCandidates(g *graph.Graph, roots []int32) *candidateSet {
 				// and the candidate degenerates to a closed walk rather
 				// than a simple cycle. Rejected records how much of the
 				// raw Horton set the filter prunes.
-				cs.Rejected++
+				rejected[ri]++
 				continue
 			}
 			w := t.Dist[e.U] + e.W + t.Dist[e.V]
-			cs.cands = append(cs.cands, candidate{root: int32(ri), edge: int32(eid), weight: w})
+			out = append(out, candidate{root: int32(ri), edge: int32(eid), weight: w})
 		}
+		perRoot[ri] = out
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri := range perRoot {
+		cs.cands = append(cs.cands, perRoot[ri]...)
+		cs.Rejected += rejected[ri]
 	}
 	for eid, e := range g.Edges() {
 		if e.U == e.V {
@@ -84,7 +121,7 @@ func buildCandidates(g *graph.Graph, roots []int32) *candidateSet {
 		}
 	}
 	sort.SliceStable(cs.cands, func(i, j int) bool { return cs.cands[i].weight < cs.cands[j].weight })
-	return cs
+	return cs, nil
 }
 
 // cycleEdges materialises the edge ID list of candidate c (tree path

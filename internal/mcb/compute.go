@@ -1,24 +1,54 @@
 package mcb
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/bcc"
 	"repro/internal/ear"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
-// Compute returns a minimum weight cycle basis of g.
+// Compute returns a minimum weight cycle basis of g. It is a thin wrapper
+// over ComputeCtx with a background context, which never cancels, so the
+// error is impossible by construction.
+func Compute(g *graph.Graph, opts Options) *Result {
+	res, _ := ComputeCtx(context.Background(), g, opts)
+	return res
+}
+
+// ComputeCtx computes a minimum weight cycle basis of g, honouring ctx.
 //
 // Following Section 3.3, the graph is split into biconnected components (no
 // MCB cycle spans two components); each component is optionally
 // ear-reduced (Lemma 3.1), solved with the De Pina/Mehlhorn–Michail engine
 // on the selected platform, and the basis cycles are expanded back to
 // original edge IDs by substituting each contracted chain.
-func Compute(g *graph.Graph, opts Options) *Result {
+//
+// With Options.Workers > 1 every pipeline phase — candidate shortest-path
+// trees, per-phase label recomputation, the batched candidate scan, and the
+// witness updates — fans out over a pool of that many goroutines, with
+// per-unit outputs merged in a fixed order so the basis is bit-identical to
+// the sequential result (see DESIGN.md §7 for the determinism argument).
+//
+// Cancellation is cooperative and prompt: the pipeline checks ctx between
+// components, between De Pina phases, and between work units inside each
+// parallel stage, so a cancelled request stops label trees mid-flight. On
+// cancellation ComputeCtx returns a nil Result and an error wrapping
+// ctx.Err() (errors.Is-compatible with context.Canceled and
+// context.DeadlineExceeded).
+func ComputeCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	obs.Default.Counter("mcb.computes").Inc()
+	obs.Default.Gauge("mcb.workers").Set(int64(opts.Workers))
 	total := &Result{}
 	dec := bcc.Compute(g)
 	subs := dec.Subgraphs(g)
 	for si, sub := range subs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mcb: compute cancelled: %w", err)
+		}
 		local := sub.G
 		// Quick skip: a component contributes cycles only if it has at
 		// least as many edges as a spanning tree.
@@ -37,11 +67,15 @@ func Compute(g *graph.Graph, opts Options) *Result {
 		seed := opts.Seed + uint64(si)*0x9e3779b97f4a7c15
 		var localCycles [][]int32
 		var r *Result
+		var err error
 		if opts.UseEar {
 			red := ear.Reduce(local, ear.MCB)
 			work := perturb(red.R, seed)
 			var reduced [][]int32
-			reduced, r = solveCore(work, opts)
+			reduced, r, err = solveCoreCtx(ctx, work, opts)
+			if err != nil {
+				return nil, fmt.Errorf("mcb: compute cancelled: %w", err)
+			}
 			r.NodesRemoved = red.NumRemoved()
 			for _, rc := range reduced {
 				var expanded []int32
@@ -52,7 +86,10 @@ func Compute(g *graph.Graph, opts Options) *Result {
 			}
 		} else {
 			work := perturb(local, seed)
-			localCycles, r = solveCore(work, opts)
+			localCycles, r, err = solveCoreCtx(ctx, work, opts)
+			if err != nil {
+				return nil, fmt.Errorf("mcb: compute cancelled: %w", err)
+			}
 		}
 		for _, lc := range localCycles {
 			c := Cycle{Edges: make([]int32, len(lc))}
@@ -66,7 +103,7 @@ func Compute(g *graph.Graph, opts Options) *Result {
 		}
 		total.merge(r)
 	}
-	return total
+	return total, nil
 }
 
 // Dim returns the cycle space dimension m − n + k of g, the expected basis

@@ -1,24 +1,37 @@
 package mcb
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/bitvec"
 	"repro/internal/ds"
 	"repro/internal/graph"
 	"repro/internal/hetero"
+	"repro/internal/obs"
 )
 
-// solveCore runs the De Pina algorithm (Algorithm 2) on one connected
+// solveCoreCtx runs the De Pina algorithm (Algorithm 2) on one connected
 // working graph (already perturbed) and returns the basis as local edge
 // IDs, along with the work and virtual-time accounting for the chosen
 // platform(s). The caller translates edges back to the original graph and
 // recomputes original weights.
-func solveCore(g *graph.Graph, opts Options) (cycles [][]int32, res *Result) {
+//
+// With opts.Workers > 1 the three phases execute on a real goroutine pool:
+// candidate trees fan out one root per unit, label recomputation one tree
+// per unit, the candidate scan in windows all workers evaluate together
+// (the paper's Section 3.3.2 batched scan), and witness updates one
+// remaining witness per unit. Every parallel stage merges its outputs in a
+// fixed order, so the basis — and the work counters — are bit-identical to
+// a sequential run at any worker count. Cancelling ctx stops the solve
+// between work units and returns the context error.
+func solveCoreCtx(ctx context.Context, g *graph.Graph, opts Options) (cycles [][]int32, res *Result, err error) {
 	res = &Result{}
 	sp := buildSpanning(g)
 	f := sp.dim()
 	res.Dim = f
 	if f == 0 {
-		return nil, res
+		return nil, res, nil
 	}
 	var roots []int32
 	if opts.AllRoots {
@@ -41,6 +54,17 @@ func solveCore(g *graph.Graph, opts Options) (cycles [][]int32, res *Result) {
 		devs[pi] = p.Devices()
 	}
 
+	// Wall-clock phase timers, accumulated locally and recorded into the
+	// process registry once per solve (obs.Phases takes a lock per Record).
+	var labelDur, scanDur, witnessDur, candDur time.Duration
+	defer func() {
+		ph := obs.Default.Phases("mcb")
+		ph.Record("candidates", candDur)
+		ph.Record("labels", labelDur)
+		ph.Record("scan", scanDur)
+		ph.Record("witness", witnessDur)
+	}()
+
 	// The signed-graph search needs no trees, candidates or labels.
 	var (
 		cs    *candidateSet
@@ -48,7 +72,12 @@ func solveCore(g *graph.Graph, opts Options) (cycles [][]int32, res *Result) {
 		store *ds.ChunkedList
 	)
 	if !opts.SignedSearch {
-		cs = buildCandidates(g, roots)
+		t0 := time.Now()
+		cs, err = buildCandidatesCtx(ctx, g, roots, opts.Workers)
+		candDur += time.Since(t0)
+		if err != nil {
+			return nil, nil, err
+		}
 		res.TreeOps = cs.TreeOps
 		res.NumCandidates = len(cs.cands)
 		res.RejectedCandidates = int(cs.Rejected)
@@ -101,8 +130,26 @@ func solveCore(g *graph.Graph, opts Options) (cycles [][]int32, res *Result) {
 		signed = newSignedSearcher(g, sp, roots)
 	}
 
+	// Scan window: the batch every worker evaluates together. Scratch is
+	// hoisted out of the phase loop; the window is capped so the scratch
+	// stays cache-resident.
+	scanWindow := opts.BatchSize * maxi(1, opts.Workers)
+	var (
+		scanVals []uint32
+		scanCurs []ds.Cursor
+		scanHits []bool
+	)
+	if !opts.SignedSearch && opts.Workers > 1 {
+		scanVals = make([]uint32, 0, scanWindow)
+		scanCurs = make([]ds.Cursor, 0, scanWindow)
+		scanHits = make([]bool, scanWindow)
+	}
+
 	words := int64(f+63) / 64
 	for i := 0; i < f; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		s := wit[i]
 
 		if opts.SignedSearch {
@@ -135,23 +182,24 @@ func solveCore(g *graph.Graph, opts Options) (cycles [][]int32, res *Result) {
 				}
 			}
 			cycles = append(cycles, edges)
-			updateWitnesses(opts, wit, ci, s, i, f, words, res, plats, devs, breakdown)
+			if err := updateWitnesses(ctx, opts, wit, ci, s, i, f, words, res, plats, devs, breakdown, &witnessDur); err != nil {
+				return nil, nil, err
+			}
 			continue
 		}
 
-		// Phase 1: recompute all tree labels against S_i. Real execution
-		// is optionally goroutine-parallel; the virtual clock schedules one
-		// unit per tree on the platform's devices. On the GPU each thread
-		// walks one tree independently, so a batch of trees is a single
-		// kernel launch.
-		if opts.Workers > 1 {
-			hetero.ParallelFor(opts.Workers, len(roots), func(_, ri int) {
-				labelCost[ri] = ls.computeTree(ri, s)
-			})
-		} else {
-			for ri := range roots {
-				labelCost[ri] = ls.computeTree(ri, s)
-			}
+		// Phase 1: recompute all tree labels against S_i, one tree per
+		// work unit on the pool; the virtual clock schedules the same
+		// units on the platform's devices. On the GPU each thread walks
+		// one tree independently, so a batch of trees is a single kernel
+		// launch.
+		t0 := time.Now()
+		err := hetero.ParallelForCtx(ctx, opts.Workers, len(roots), func(_, ri int) {
+			labelCost[ri] = ls.computeTree(ri, s)
+		})
+		labelDur += time.Since(t0)
+		if err != nil {
+			return nil, nil, err
 		}
 		for _, c := range labelCost {
 			res.LabelOps += c
@@ -166,18 +214,76 @@ func solveCore(g *graph.Graph, opts Options) (cycles [][]int32, res *Result) {
 		// Phase 2: scan candidates in weight order, in batches, for the
 		// first cycle with <C, S_i> = 1. All devices check a batch together
 		// (Section 3.3.2), so each batch is charged at the platform's
-		// aggregate throughput.
+		// aggregate throughput. The parallel driver makes the batch real:
+		// a window of live candidates is carved out of the store, every
+		// worker tests a contiguous chunk of it, and the earliest hit in
+		// store order wins — the same candidate the sequential early-exit
+		// scan selects. SearchOps counts live entries up to and including
+		// the hit (its position in scan order), so the work accounting is
+		// also identical at any worker count.
 		var chosen candidate
 		found := false
 		scanned := int64(0)
-		cur, hit := store.Scan(func(idx uint32) bool {
-			scanned++
-			if ls.nonOrthogonal(cs.cands[idx], s) {
-				chosen = cs.cands[idx]
-				return false
+		t0 = time.Now()
+		if opts.Workers > 1 {
+			var cur ds.Cursor
+			for {
+				if err := ctx.Err(); err != nil {
+					scanDur += time.Since(t0)
+					return nil, nil, err
+				}
+				var last ds.Cursor
+				scanVals, scanCurs, last = store.BatchFrom(cur, scanWindow, scanVals[:0], scanCurs[:0])
+				if len(scanVals) == 0 {
+					break
+				}
+				hits := scanHits[:len(scanVals)]
+				chunk := (len(scanVals) + opts.Workers - 1) / opts.Workers
+				hetero.ParallelFor(opts.Workers, (len(scanVals)+chunk-1)/chunk, func(_, w int) {
+					lo := w * chunk
+					hi := lo + chunk
+					if hi > len(scanVals) {
+						hi = len(scanVals)
+					}
+					for k := lo; k < hi; k++ {
+						hits[k] = ls.nonOrthogonal(cs.cands[scanVals[k]], s)
+					}
+				})
+				hitAt := -1
+				for k := range hits {
+					if hits[k] {
+						hitAt = k
+						break
+					}
+				}
+				if hitAt >= 0 {
+					scanned += int64(hitAt) + 1
+					chosen = cs.cands[scanVals[hitAt]]
+					store.Remove(scanCurs[hitAt])
+					found = true
+					break
+				}
+				scanned += int64(len(scanVals))
+				if len(scanVals) < scanWindow {
+					break
+				}
+				cur = last
 			}
-			return true
-		})
+		} else {
+			cur, hit := store.Scan(func(idx uint32) bool {
+				scanned++
+				if ls.nonOrthogonal(cs.cands[idx], s) {
+					chosen = cs.cands[idx]
+					return false
+				}
+				return true
+			})
+			if hit {
+				store.Remove(cur)
+				found = true
+			}
+		}
+		scanDur += time.Since(t0)
 		res.SearchOps += scanned
 		// Launch accounting: a GPU scan kernel evaluates a large grid of
 		// candidates per launch (gpuScanBatch); CPU-only platforms have no
@@ -190,10 +296,6 @@ func solveCore(g *graph.Graph, opts Options) (cycles [][]int32, res *Result) {
 				t += float64(batches) * l
 			}
 			breakdown[pi].Search += t
-		}
-		if hit {
-			store.Remove(cur)
-			found = true
 		}
 
 		var ci *bitvec.Vector
@@ -219,7 +321,9 @@ func solveCore(g *graph.Graph, opts Options) (cycles [][]int32, res *Result) {
 		cycles = append(cycles, edges)
 
 		// Phase 3: independence test.
-		updateWitnesses(opts, wit, ci, s, i, f, words, res, plats, devs, breakdown)
+		if err := updateWitnesses(ctx, opts, wit, ci, s, i, f, words, res, plats, devs, breakdown, &witnessDur); err != nil {
+			return nil, nil, err
+		}
 	}
 	res.Phase = breakdown[0]
 	if opts.AllPlatforms {
@@ -236,33 +340,33 @@ func solveCore(g *graph.Graph, opts Options) (cycles [][]int32, res *Result) {
 	} else {
 		res.SimSeconds = res.Phase.Total()
 	}
-	return cycles, res
+	return cycles, res, nil
 }
 
 // updateWitnesses performs the independence test — make the remaining
 // witnesses orthogonal to C_i (steps 4–6 of Algorithm 2) — and charges the
 // virtual clocks. One unit per remaining witness; a GPU unit is a
 // block-parallel multiply-reduce + conditional XOR in a shared launch, and
-// the word scans stream at the devices' bandwidth rates.
-func updateWitnesses(opts Options, wit []*bitvec.Vector, ci, s *bitvec.Vector, i, f int,
-	words int64, res *Result, plats []Platform, devs [][]*hetero.Device, breakdown []PhaseBreakdown) {
+// the word scans stream at the devices' bandwidth rates. Each witness j is
+// read and written only by the worker that claimed unit j, so the parallel
+// update touches disjoint vectors and stays deterministic.
+func updateWitnesses(ctx context.Context, opts Options, wit []*bitvec.Vector, ci, s *bitvec.Vector, i, f int,
+	words int64, res *Result, plats []Platform, devs [][]*hetero.Device, breakdown []PhaseBreakdown,
+	dur *time.Duration) error {
 	rest := f - i - 1
 	if rest <= 0 {
-		return
+		return nil
 	}
-	if opts.Workers > 1 {
-		hetero.ParallelFor(opts.Workers, rest, func(_, jj int) {
-			j := i + 1 + jj
-			if ci.Dot(wit[j]) {
-				wit[j].Xor(s)
-			}
-		})
-	} else {
-		for j := i + 1; j < f; j++ {
-			if ci.Dot(wit[j]) {
-				wit[j].Xor(s)
-			}
+	t0 := time.Now()
+	err := hetero.ParallelForCtx(ctx, opts.Workers, rest, func(_, jj int) {
+		j := i + 1 + jj
+		if ci.Dot(wit[j]) {
+			wit[j].Xor(s)
 		}
+	})
+	*dur += time.Since(t0)
+	if err != nil {
+		return err
 	}
 	res.UpdateOps += int64(rest) * words
 	units := make([]hetero.Unit, rest)
@@ -275,6 +379,7 @@ func updateWitnesses(opts Options, wit []*bitvec.Vector, ci, s *bitvec.Vector, i
 		})
 		breakdown[pi].Update += usched.Makespan
 	}
+	return nil
 }
 
 // deviceLaunch returns the launch overhead charged per scan batch: the

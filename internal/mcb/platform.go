@@ -69,9 +69,12 @@ type Options struct {
 	UseEar bool
 	// Platform selects the Table 2 implementation being modelled.
 	Platform Platform
-	// Workers sets real goroutine parallelism for the label and update
-	// phases (wall-clock); 0 or 1 runs single-threaded. Virtual-clock
-	// results are identical either way.
+	// Workers sets real goroutine parallelism for the whole pipeline —
+	// candidate shortest-path trees, per-phase label recomputation, the
+	// batched candidate scan, and witness updates (wall-clock); 0 or 1
+	// runs single-threaded. Every parallel stage merges its outputs in a
+	// fixed order, so the basis and the work counters are bit-identical
+	// at any worker count; only wall-clock time changes.
 	Workers int
 	// BatchSize is the candidate-scan batch (default 256).
 	BatchSize int

@@ -18,6 +18,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"os"
 
@@ -107,9 +108,20 @@ type APSPOptions struct {
 	Workers int
 }
 
-// ShortestPathsOpts builds the APSP oracle with explicit options.
+// ShortestPathsOpts builds the APSP oracle with explicit options. It is a
+// thin wrapper over ShortestPathsCtx with a background context; callers
+// that need cancellation or deadlines on long builds should use the Ctx
+// form directly.
 func ShortestPathsOpts(g *Graph, opts APSPOptions) (*APSPOracle, error) {
-	return core.ShortestPaths(g, opts.Workers)
+	return ShortestPathsCtx(context.Background(), g, opts)
+}
+
+// ShortestPathsCtx builds the APSP oracle under ctx: the build checks the
+// context between biconnected components and between the per-source
+// Dijkstra units inside each, so cancelling the context or hitting its
+// deadline abandons the build promptly and returns the context error.
+func ShortestPathsCtx(ctx context.Context, g *Graph, opts APSPOptions) (*APSPOracle, error) {
+	return core.ShortestPathsCtx(ctx, g, opts.Workers)
 }
 
 // ShortestPaths builds the APSP oracle with the given parallelism
@@ -221,12 +233,47 @@ type (
 	MCBCycle = mcb.Cycle
 )
 
-// MinimumCycleBasis computes an MCB with the ear reduction enabled.
+// Typed errors of the MCB checked accessors (CycleChecked,
+// CyclesThroughVertexChecked, VertexSequenceChecked on MCBResult),
+// wrap-compatible with errors.Is — the cycle-space counterparts of the
+// ErrSnapshot* sentinels above.
+var (
+	// ErrMCBCycleIndex reports a cycle index outside the basis.
+	ErrMCBCycleIndex = mcb.ErrCycleIndex
+	// ErrMCBVertexRange reports a vertex ID outside the graph.
+	ErrMCBVertexRange = mcb.ErrVertexRange
+	// ErrMCBEdgeRange reports a basis element referencing an edge ID the
+	// graph does not have (only possible for externally built results).
+	ErrMCBEdgeRange = mcb.ErrEdgeRange
+	// ErrMCBNotClosedWalk reports a basis element that is not one closed
+	// walk and therefore has no vertex sequence.
+	ErrMCBNotClosedWalk = mcb.ErrNotClosedWalk
+)
+
+// MinimumCycleBasis computes an MCB with the ear reduction enabled. It is
+// a thin wrapper over MinimumCycleBasisCtx with a background context.
 func MinimumCycleBasis(g *Graph) (*MCBResult, error) { return core.MinimumCycleBasis(g) }
 
-// MinimumCycleBasisOpts computes an MCB with explicit options.
+// MinimumCycleBasisCtx computes an MCB with the ear reduction enabled,
+// honouring ctx: the pipeline checks the context between biconnected
+// components, between De Pina phases, and between the work units of each
+// parallel stage, so cancellation stops candidate shortest-path trees
+// mid-flight. On cancellation the error wraps ctx.Err() (errors.Is with
+// context.Canceled / context.DeadlineExceeded).
+func MinimumCycleBasisCtx(ctx context.Context, g *Graph) (*MCBResult, error) {
+	return core.MinimumCycleBasisCtx(ctx, g)
+}
+
+// MinimumCycleBasisOpts computes an MCB with explicit options. It is a
+// thin wrapper over MinimumCycleBasisOptsCtx with a background context.
 func MinimumCycleBasisOpts(g *Graph, opts MCBOptions) (*MCBResult, error) {
 	return core.MinimumCycleBasisOpts(g, opts)
+}
+
+// MinimumCycleBasisOptsCtx is MinimumCycleBasisOpts under ctx, with the
+// same cancellation contract as MinimumCycleBasisCtx.
+func MinimumCycleBasisOptsCtx(ctx context.Context, g *Graph, opts MCBOptions) (*MCBResult, error) {
+	return core.MinimumCycleBasisOptsCtx(ctx, g, opts)
 }
 
 // Generators (for experimentation and tests).
