@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/apsp"
+)
+
+// maxDeltasBody and maxDeltasPerRequest bound one /v1/deltas request.
+const (
+	maxDeltasBody       = 1 << 20
+	maxDeltasPerRequest = 4096
+)
+
+// deltaRecord is the wire form of one delta. Fields are pointers so a
+// missing field is distinguishable from a legal zero (edge 0, weight 0).
+type deltaRecord struct {
+	Op     string   `json:"op"` // "weight" | "insert" | "delete"
+	Edge   *int32   `json:"edge,omitempty"`
+	U      *int32   `json:"u,omitempty"`
+	V      *int32   `json:"v,omitempty"`
+	Weight *float64 `json:"weight,omitempty"`
+}
+
+// deltasRequest is the POST /v1/deltas JSON body.
+type deltasRequest struct {
+	Deltas []deltaRecord `json:"deltas"`
+}
+
+func (rec *deltaRecord) decode(i int) (apsp.Delta, error) {
+	switch rec.Op {
+	case "weight":
+		if rec.Edge == nil || rec.Weight == nil {
+			return apsp.Delta{}, fmt.Errorf("delta %d: op weight needs edge and weight", i)
+		}
+		return apsp.Delta{Kind: apsp.DeltaWeight, Edge: *rec.Edge, W: *rec.Weight}, nil
+	case "insert":
+		if rec.U == nil || rec.V == nil || rec.Weight == nil {
+			return apsp.Delta{}, fmt.Errorf("delta %d: op insert needs u, v, and weight", i)
+		}
+		return apsp.Delta{Kind: apsp.DeltaInsert, U: *rec.U, V: *rec.V, W: *rec.Weight}, nil
+	case "delete":
+		if rec.Edge == nil {
+			return apsp.Delta{}, fmt.Errorf("delta %d: op delete needs edge", i)
+		}
+		return apsp.Delta{Kind: apsp.DeltaDelete, Edge: *rec.Edge}, nil
+	}
+	return apsp.Delta{}, fmt.Errorf("delta %d: unknown op %q (want weight, insert, or delete)", i, rec.Op)
+}
+
+// deltas is POST /v1/deltas: apply an ordered edge/weight delta script to
+// the live oracle and swap the result in without dropping a request.
+//
+//	POST /v1/deltas  {"deltas":[{"op":"weight","edge":0,"weight":5},
+//	                            {"op":"insert","u":0,"v":9,"weight":1},
+//	                            {"op":"delete","edge":2}]}
+//
+// Edge IDs are positional at application time, exactly as in the apsp
+// package: a delete shifts later IDs down, an insert appends. The whole
+// script validates before anything is built — a 400 (code "bad_request")
+// means no change was applied. Concurrent /v1/distance (or /path, /batch)
+// requests keep answering throughout: each sees either the pre-delta or
+// the post-delta oracle, never a mix. A loaded cycle basis describes the
+// pre-delta graph, so a successful apply invalidates it ("mcb" flips to
+// false in /healthz and /v1/mcb/cycle answers 503).
+func (s *server) deltas(r *http.Request) (interface{}, error) {
+	if r.Method != http.MethodPost {
+		return nil, &httpError{http.StatusMethodNotAllowed, fmt.Errorf("POST a JSON body to /v1/deltas")}
+	}
+	var req deltasRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxDeltasBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("deltas body: %w", err)
+	}
+	if len(req.Deltas) == 0 {
+		return nil, fmt.Errorf("deltas body: empty script")
+	}
+	if len(req.Deltas) > maxDeltasPerRequest {
+		return nil, fmt.Errorf("script of %d deltas exceeds the %d limit", len(req.Deltas), maxDeltasPerRequest)
+	}
+	ds := make([]apsp.Delta, len(req.Deltas))
+	for i := range req.Deltas {
+		var err error
+		if ds[i], err = req.Deltas[i].decode(i); err != nil {
+			return nil, err
+		}
+	}
+
+	// One applier at a time: positional edge IDs make the application order
+	// part of the script's meaning.
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+
+	_, cur, _ := s.state()
+	next, res, err := cur.ApplyDelta(r.Context(), ds)
+	if err != nil {
+		if errors.Is(err, apsp.ErrBadDelta) {
+			return nil, err // 400 bad_request, nothing applied
+		}
+		return nil, &httpError{http.StatusInternalServerError, err}
+	}
+
+	// Swap order matters: the engine first (stale cached rows evicted, new
+	// rows built from the new oracle), then the served pointers. A request
+	// racing the swap gets a consistent answer from one side or the other.
+	evicted := s.engine.SwapSource(next, res.Stale)
+	s.mu.Lock()
+	mcbInvalidated := s.basis != nil
+	s.g = next.G
+	s.oracle = next
+	s.basis = nil
+	s.mu.Unlock()
+
+	resp := map[string]interface{}{
+		"applied":          len(ds),
+		"touched_blocks":   res.TouchedBlocks,
+		"reused_blocks":    res.ReusedBlocks,
+		"rebuild_fallback": res.RebuildFallback,
+		"evicted_rows":     evicted,
+		"vertices":         next.G.NumVertices(),
+		"edges":            next.G.NumEdges(),
+	}
+	if mcbInvalidated {
+		resp["mcb_invalidated"] = true
+	}
+	if s.chainPath != "" {
+		s.chainDeltas = append(s.chainDeltas, ds...)
+		if err := writeChainSnapshot(s.chainPath, s.chainBase, s.chainDeltas); err != nil {
+			// The oracle already swapped — the serve side is consistent —
+			// but durability failed; surface that loudly.
+			return nil, &httpError{http.StatusInternalServerError,
+				fmt.Errorf("deltas applied but chain snapshot failed: %w", err)}
+		}
+		resp["chain_deltas"] = len(s.chainDeltas)
+	}
+	return resp, nil
+}
+
+// enableChain starts delta-chain persistence: path is rewritten after
+// every successful /v1/deltas apply as base-oracle + all deltas since, so
+// -load-snapshot of that file replays to the daemon's current head. The
+// initial write (empty chain) happens here, so the file exists — and boots
+// an identical daemon — before the first delta arrives.
+func (s *server) enableChain(path string, base *apsp.Oracle) error {
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+	s.chainPath, s.chainBase, s.chainDeltas = path, base, nil
+	return writeChainSnapshot(path, base, nil)
+}
+
+// writeChainSnapshot persists base + deltas atomically: temp file, fsync
+// via Close, rename — a loader never observes a torn chain.
+func writeChainSnapshot(path string, base *apsp.Oracle, deltas []apsp.Delta) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := base.WriteChainTo(f, deltas); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

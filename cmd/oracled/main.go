@@ -20,9 +20,17 @@
 //	curl 'localhost:8080/v1/distance?u=0&v=17'
 //	curl 'localhost:8080/v1/path?u=0&v=17'
 //	curl -d '{"sources":[0,3],"targets":[17,42]}' 'localhost:8080/v1/batch'
+//	curl -d '{"deltas":[{"op":"weight","edge":0,"weight":5}]}' 'localhost:8080/v1/deltas'
 //	curl 'localhost:8080/v1/mcb/cycle?i=0'
 //	curl 'localhost:8080/v1/stats'
 //	curl 'localhost:8080/debug/vars'
+//
+// The served graph is live: POST /v1/deltas applies an ordered script of
+// edge weight changes, insertions, and deletions, recomputing only the
+// affected blocks and swapping the new oracle in without dropping
+// concurrent queries. With -save-delta-chain FILE, every successful apply
+// rewrites FILE as base-oracle + delta-chain — a checksummed snapshot that
+// -load-snapshot replays back to the daemon's current state.
 //
 // The API is versioned under /v1/. The original unversioned paths still
 // answer identically but are deprecated aliases: they add a
@@ -64,16 +72,17 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		file     = flag.String("file", "", "graph file (.mtx, .gr, .earg snapshot, or edge list)")
-		dataset  = flag.String("dataset", "", "named synthetic dataset")
-		scale    = flag.Float64("scale", 0.03, "dataset scale")
-		seed     = flag.Uint64("seed", 1, "dataset seed")
-		workers  = flag.Int("workers", hetero.Workers(), "parallel workers for the oracle build")
-		withMCB  = flag.Bool("mcb", false, "also compute a minimum cycle basis and serve /mcb/cycle")
-		saveSnap = flag.String("save-snapshot", "", "write the built oracle as a snapshot file and continue serving")
-		loadSnap = flag.String("load-snapshot", "", "serve from an oracle snapshot, skipping the build entirely (replaces -file/-dataset)")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		file      = flag.String("file", "", "graph file (.mtx, .gr, .earg snapshot, or edge list)")
+		dataset   = flag.String("dataset", "", "named synthetic dataset")
+		scale     = flag.Float64("scale", 0.03, "dataset scale")
+		seed      = flag.Uint64("seed", 1, "dataset seed")
+		workers   = flag.Int("workers", hetero.Workers(), "parallel workers for the oracle build")
+		withMCB   = flag.Bool("mcb", false, "also compute a minimum cycle basis and serve /mcb/cycle")
+		saveSnap  = flag.String("save-snapshot", "", "write the built oracle as a snapshot file and continue serving")
+		loadSnap  = flag.String("load-snapshot", "", "serve from an oracle snapshot, skipping the build entirely (replaces -file/-dataset)")
+		saveChain = flag.String("save-delta-chain", "", "persist base oracle + applied /v1/deltas scripts to this file after every apply")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	engineCfg := cli.EngineFlags()
 	cli.SetUsage("oracled", "[-file graph | -dataset name | -load-snapshot file] [-addr host:port] [flags]")
@@ -142,6 +151,12 @@ func main() {
 	cfg.Reg = obs.Default
 	engine := qe.New(oracle, cfg)
 	s := newServer(g, oracle, basis, engine, obs.Default)
+	if *saveChain != "" {
+		if err := s.enableChain(*saveChain, oracle); err != nil {
+			cli.Fatalf("oracled", "delta chain: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "oracled: delta chain persisting to %s\n", *saveChain)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/apsp"
@@ -25,18 +26,36 @@ const (
 	maxBatchPairs = 1 << 20
 )
 
-// server is the HTTP face of one built oracle. Everything it reads — the
-// graph, the oracle tables, the optional cycle basis — is immutable after
-// construction, so handlers run concurrently without locking; the only
-// mutable state is the obs metrics (atomic) and the query engine's row
-// cache and admission gauges (internally synchronised).
+// server is the HTTP face of one built oracle. The oracle tables
+// themselves are immutable — POST /v1/deltas never mutates them, it swaps
+// in a new oracle built by ApplyDelta — so read handlers only need the
+// cheap pointer snapshot under mu.RLock; the heavy lifting (block
+// recomputation, cache invalidation) happens on the applier's goroutine
+// with deltaMu serialising concurrent appliers.
 type server struct {
+	mu     sync.RWMutex // guards g, oracle, basis (pointer swaps only)
 	g      *graph.Graph
 	oracle *apsp.Oracle
 	basis  *mcb.Result
+
+	// deltaMu serialises /v1/deltas appliers so scripts apply in a total
+	// order (positional edge IDs make concurrent application ambiguous).
+	// It also guards the chain state below.
+	deltaMu     sync.Mutex
+	chainPath   string       // when set, every apply rewrites this chain snapshot
+	chainBase   *apsp.Oracle // the oracle the chain's deltas replay onto
+	chainDeltas []apsp.Delta // all deltas applied since chainBase
+
 	engine *qe.Engine
 	reg    *obs.Registry
 	mux    *http.ServeMux
+}
+
+// state snapshots the served graph/oracle/basis consistently.
+func (s *server) state() (*graph.Graph, *apsp.Oracle, *mcb.Result) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g, s.oracle, s.basis
 }
 
 // apiVersion is the current route prefix. Every endpoint is mounted under
@@ -64,6 +83,9 @@ func newServer(g *graph.Graph, oracle *apsp.Oracle, basis *mcb.Result, engine *q
 		s.mux.Handle(apiVersion+ep.path, h)
 		s.mux.Handle(ep.path, deprecated(apiVersion+ep.path, h))
 	}
+	// /v1/deltas is versioned-only: it post-dates the legacy API, so there
+	// is no unversioned alias to keep answering.
+	s.mux.Handle(apiVersion+"/deltas", s.handle("deltas", s.deltas))
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -165,11 +187,12 @@ func (s *server) handle(name string, fn func(r *http.Request) (interface{}, erro
 }
 
 func (s *server) healthz(*http.Request) (interface{}, error) {
+	g, _, basis := s.state()
 	return map[string]interface{}{
 		"status":   "ok",
-		"vertices": s.g.NumVertices(),
-		"edges":    s.g.NumEdges(),
-		"mcb":      s.basis != nil,
+		"vertices": g.NumVertices(),
+		"edges":    g.NumEdges(),
+		"mcb":      basis != nil,
 	}, nil
 }
 
@@ -213,7 +236,8 @@ func (s *server) path(r *http.Request) (interface{}, error) {
 	if err != nil {
 		return nil, err
 	}
-	walk, err := s.oracle.PathChecked(u, v)
+	_, oracle, _ := s.state()
+	walk, err := oracle.PathChecked(u, v)
 	if err != nil {
 		return nil, &httpError{http.StatusInternalServerError, err}
 	}
@@ -275,33 +299,34 @@ func (s *server) batch(r *http.Request) (interface{}, error) {
 }
 
 func (s *server) mcbCycle(r *http.Request) (interface{}, error) {
-	if s.basis == nil {
+	g, _, basis := s.state()
+	if basis == nil {
 		return nil, &httpError{http.StatusServiceUnavailable,
-			fmt.Errorf("no cycle basis loaded (start with -mcb)")}
+			fmt.Errorf("no cycle basis loaded (start with -mcb, invalidated by deltas)")}
 	}
 	i, err := strconv.Atoi(r.URL.Query().Get("i"))
 	if err != nil {
 		return nil, fmt.Errorf("need integer query parameter i")
 	}
-	c, err := s.basis.CycleChecked(s.g, i)
+	c, err := basis.CycleChecked(g, i)
 	if err != nil {
 		if errors.Is(err, mcb.ErrCycleIndex) {
 			return nil, &httpError{http.StatusNotFound, err}
 		}
 		return nil, &httpError{http.StatusInternalServerError, err}
 	}
-	seq, err := mcb.VertexSequenceChecked(s.g, c)
+	seq, err := mcb.VertexSequenceChecked(g, c)
 	if err != nil {
 		return nil, &httpError{http.StatusInternalServerError, err}
 	}
 	edges := make([][2]int32, len(c.Edges))
 	for j, eid := range c.Edges {
-		e := s.g.Edge(eid)
+		e := g.Edge(eid)
 		edges[j] = [2]int32{e.U, e.V}
 	}
 	return map[string]interface{}{
 		"index":    i,
-		"dim":      s.basis.Dim,
+		"dim":      basis.Dim,
 		"weight":   c.Weight,
 		"edges":    edges,
 		"vertices": seq,

@@ -1,0 +1,65 @@
+package apsp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// The delta benchmarks quantify the point of ApplyDelta: a weight change
+// confined to one block recomputes that block's S^r table (plus, here,
+// the a×a AP table — grid blocks have two cuts each) and nothing else,
+// where the naive response rebuilds every block. Triangulated-grid blocks
+// keep most vertices at degree ≥ 3, so the ear reduction cannot contract
+// them away and the per-block S^r work dominates — the regime the
+// incremental path is for.
+
+func deltaBenchOracle(b *testing.B) (*Oracle, []Delta) {
+	b.Helper()
+	cfg := gen.Config{MaxWeight: 9}
+	rng := gen.NewRNG(7)
+	blocks := make([]*graph.Graph, 16)
+	for i := range blocks {
+		blocks[i] = gen.TriangulatedGrid(10, 10, cfg, rng)
+	}
+	g := gen.ChainBlocks(blocks, cfg, rng)
+	o := NewOracle(g)
+	ds := []Delta{{Kind: DeltaWeight, Edge: 0, W: g.Edge(0).W + 1}}
+	b.ReportMetric(float64(g.NumVertices()), "vertices")
+	return o, ds
+}
+
+// BenchmarkDeltaApply measures the incremental path: one single-block
+// weight delta through ApplyDelta.
+func BenchmarkDeltaApply(b *testing.B) {
+	o, ds := deltaBenchOracle(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, _, err := o.ApplyDelta(ctx, ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o = next
+		// Alternate the bump's sign so the weight stays in range forever.
+		ds[0].W = o.G.Edge(0).W + graph.Weight(1-2*(i%2))
+	}
+}
+
+// BenchmarkDeltaRebuild measures the naive response to the same delta:
+// mutate the edge list and build a fresh oracle.
+func BenchmarkDeltaRebuild(b *testing.B) {
+	o, ds := deltaBenchOracle(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := MutateGraph(o.G, ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if NewOracle(g) == nil {
+			b.Fatal("nil oracle")
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package apsp
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/snapshot"
+)
+
+// Delta-chain persistence. A chain snapshot is an ordinary oracle
+// snapshot (the base: the oracle as it was when the chain started) plus
+// one extra "deltas" section holding the ordered delta records applied
+// since. The section rides the container's per-section CRC-64 like every
+// other section, so a flipped bit anywhere in the chain surfaces as
+// ErrChecksum before replay starts. On load, ReadOracle decodes the base,
+// then replays the chain through the same ApplyDelta code path serving
+// uses — so a daemon restarted from a chain answers bit-identically to
+// the daemon that wrote it.
+//
+// Section layout ("deltas"):
+//
+//	u32 chain format version (1)
+//	u64 record count
+//	per record: u8 kind | i32 edge | i32 u | i32 v | f64 weight
+const (
+	deltaSection            = "deltas"
+	deltaChainFormatVersion = 1
+	deltaRecordBytes        = 1 + 4 + 4 + 4 + 8
+)
+
+// WriteChainTo serialises the oracle plus an ordered delta script as one
+// chain snapshot: the receiver is the BASE, and deltas are the records a
+// loader replays on top of it. Writing the current post-delta oracle with
+// WriteTo and writing its pre-delta ancestor with WriteChainTo produce
+// snapshots that load to equivalent oracles (the differential tests hold
+// this). With an empty script the output is byte-identical to WriteTo.
+func (o *Oracle) WriteChainTo(w io.Writer, deltas []Delta) (int64, error) {
+	return o.writeSnapshot(w, deltas, deltaChainFormatVersion)
+}
+
+func encodeDeltaSection(e *snapshot.Encoder, version uint32, ds []Delta) {
+	e.U32(version)
+	e.U64(uint64(len(ds)))
+	for _, d := range ds {
+		e.U8(uint8(d.Kind))
+		e.I32(d.Edge)
+		e.I32(d.U)
+		e.I32(d.V)
+		e.F64(d.W)
+	}
+}
+
+func decodeDeltaSection(d *snapshot.Decoder) ([]Delta, error) {
+	if v := d.U32(); d.Err() == nil && v != deltaChainFormatVersion {
+		return nil, fmt.Errorf("apsp: delta chain format v%d, this build reads v%d: %w",
+			v, deltaChainFormatVersion, snapshot.ErrVersionSkew)
+	}
+	count := d.Count(deltaRecordBytes)
+	ds := make([]Delta, count)
+	for i := range ds {
+		kind := d.U8()
+		edge := d.I32()
+		u := d.I32()
+		v := d.I32()
+		w := d.F64()
+		if DeltaKind(kind) > DeltaDelete {
+			return nil, snapshot.Corruptf("apsp: delta record %d has kind %d", i, kind)
+		}
+		ds[i] = Delta{Kind: DeltaKind(kind), Edge: edge, U: u, V: v, W: w}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return ds, d.Finish()
+}
+
+// replayChain applies the snapshot's delta section, if present, returning
+// the post-replay oracle. Records that fail ApplyDelta's validation mean
+// the chain does not describe the base it is attached to — that is
+// corruption, not a caller error.
+func (o *Oracle) replayChain(sr *snapshot.Reader) (*Oracle, error) {
+	if !sr.Has(deltaSection) {
+		return o, nil
+	}
+	dd, err := sr.Section(deltaSection)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := decodeDeltaSection(dd)
+	if err != nil {
+		return nil, err
+	}
+	replayed, _, err := o.ApplyDelta(context.Background(), ds)
+	if err != nil {
+		return nil, snapshot.Corruptf("apsp: delta chain replay: %v", err)
+	}
+	obs.Default.Counter("snapshot.deltas.replayed").Add(int64(len(ds)))
+	return replayed, nil
+}

@@ -1,0 +1,153 @@
+package apsp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// chainScript is a mixed weight/insert/delete script for triChain(3),
+// valid when applied in order.
+func chainScript() []Delta {
+	return []Delta{
+		{Kind: DeltaWeight, Edge: 0, W: 4},
+		{Kind: DeltaInsert, U: 0, V: 3, W: 1},
+		{Kind: DeltaInsert, U: 6, V: 7, W: 2}, // grows the graph
+		{Kind: DeltaDelete, Edge: 5},
+	}
+}
+
+func TestDeltaChainRoundTrip(t *testing.T) {
+	g := triChain(3)
+	base := NewOracle(g)
+	ds := chainScript()
+
+	var chain bytes.Buffer
+	if _, err := base.WriteChainTo(&chain, ds); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadOracle(bytes.NewReader(chain.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying the chain must equal both the incremental application and
+	// a from-scratch build on the mutated graph.
+	applied, _, err := base.ApplyDelta(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated, err := MutateGraph(g, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, loaded, mutated)
+	n := mutated.NumVertices()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if a, b := loaded.Query(int32(u), int32(v)), applied.Query(int32(u), int32(v)); a != b {
+				t.Fatalf("d(%d,%d): chain %v vs incremental %v", u, v, a, b)
+			}
+		}
+	}
+
+	// base + chain ≡ direct save of the post-delta oracle.
+	var direct bytes.Buffer
+	if _, err := applied.WriteTo(&direct); err != nil {
+		t.Fatal(err)
+	}
+	fromDirect, err := ReadOracle(bytes.NewReader(direct.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if a, b := loaded.Query(int32(u), int32(v)), fromDirect.Query(int32(u), int32(v)); a != b {
+				t.Fatalf("d(%d,%d): chain %v vs direct save %v", u, v, a, b)
+			}
+		}
+	}
+}
+
+func TestDeltaChainEmptyEqualsPlainSnapshot(t *testing.T) {
+	o := NewOracle(triChain(2))
+	var plain, chain bytes.Buffer
+	if _, err := o.WriteTo(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.WriteChainTo(&chain, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), chain.Bytes()) {
+		t.Fatal("empty chain snapshot differs from plain snapshot")
+	}
+}
+
+// typedSnapshotErr reports whether err wraps one of the snapshot
+// sentinels every hostile-input path must resolve to.
+func typedSnapshotErr(err error) bool {
+	return errors.Is(err, snapshot.ErrCorrupt) || errors.Is(err, snapshot.ErrChecksum) ||
+		errors.Is(err, snapshot.ErrBadMagic) || errors.Is(err, snapshot.ErrVersionSkew)
+}
+
+func TestDeltaChainTruncationAndFlips(t *testing.T) {
+	base := NewOracle(triChain(3))
+	var buf bytes.Buffer
+	if _, err := base.WriteChainTo(&buf, chainScript()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := ReadOracle(bytes.NewReader(data[:cut])); !typedSnapshotErr(err) {
+			t.Fatalf("truncation at %d: err = %v, want a typed snapshot error", cut, err)
+		}
+	}
+	// The deltas section is written last; flipping any of its payload
+	// bytes must trip the section checksum.
+	chainLen := 4 + 8 + len(chainScript())*deltaRecordBytes
+	for off := len(data) - chainLen; off < len(data); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x20
+		if _, err := ReadOracle(bytes.NewReader(mut)); !errors.Is(err, snapshot.ErrChecksum) {
+			t.Fatalf("flip at %d: err = %v, want ErrChecksum", off, err)
+		}
+	}
+}
+
+func TestDeltaChainVersionSkew(t *testing.T) {
+	base := NewOracle(triChain(2))
+	var buf bytes.Buffer
+	if _, err := base.writeSnapshot(&buf, chainScript(), deltaChainFormatVersion+1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadOracle(bytes.NewReader(buf.Bytes())); !errors.Is(err, snapshot.ErrVersionSkew) {
+		t.Fatalf("newer chain format: err = %v, want ErrVersionSkew", err)
+	}
+}
+
+func TestDeltaChainRejectsBadRecords(t *testing.T) {
+	base := NewOracle(triChain(2))
+
+	// An unknown kind in the records is corruption.
+	var badKind bytes.Buffer
+	if _, err := base.WriteChainTo(&badKind, []Delta{{Kind: DeltaKind(9)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadOracle(bytes.NewReader(badKind.Bytes())); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("bad kind: err = %v, want ErrCorrupt", err)
+	}
+
+	// A chain that does not apply to its base (edge out of range) is
+	// corruption too — never a panic.
+	var badEdge bytes.Buffer
+	if _, err := base.WriteChainTo(&badEdge, []Delta{{Kind: DeltaDelete, Edge: 999}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadOracle(bytes.NewReader(badEdge.Bytes())); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("inapplicable chain: err = %v, want ErrCorrupt", err)
+	}
+}

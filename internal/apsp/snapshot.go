@@ -47,6 +47,13 @@ const oracleFormatVersion = 1
 // io.WriterTo. It records the time spent under obs.Default's "snapshot"
 // phases ("save") and bumps the snapshot.saves counter.
 func (o *Oracle) WriteTo(w io.Writer) (int64, error) {
+	return o.writeSnapshot(w, nil, deltaChainFormatVersion)
+}
+
+// writeSnapshot writes the base oracle sections plus, when deltas are
+// present, the delta-chain section (see deltachain.go). The chain format
+// version is a parameter so tests can exercise skew handling.
+func (o *Oracle) writeSnapshot(w io.Writer, deltas []Delta, chainVersion uint32) (int64, error) {
 	t0 := time.Now()
 	sw := snapshot.NewWriter()
 
@@ -87,6 +94,10 @@ func (o *Oracle) WriteTo(w io.Writer) (int64, error) {
 		ae.I32s(o.apEdgeBlock)
 	} else {
 		ae.U32(0)
+	}
+
+	if len(deltas) > 0 {
+		encodeDeltaSection(sw.Section(deltaSection), chainVersion, deltas)
 	}
 
 	n, err := sw.WriteTo(w)
@@ -177,6 +188,11 @@ func ReadOracle(r io.Reader) (o *Oracle, err error) {
 	if err := o.decodeAPTable(sr); err != nil {
 		return nil, err
 	}
+	// A delta-chain snapshot replays its ordered records on top of the
+	// base oracle, restoring the post-delta state (see deltachain.go).
+	if o, err = o.replayChain(sr); err != nil {
+		return nil, err
+	}
 
 	d := time.Since(t0)
 	o.BuildPhases.Record("snapshot.load", d)
@@ -262,8 +278,8 @@ func (o *Oracle) decodeBlocks(sr *snapshot.Reader) error {
 			return snapshot.Corruptf("apsp: block %d sweep count %d", bi, sweeps)
 		}
 		blk := &BlockAPSP{
-			Sub: sub,
-			Ear: &EarAPSP{G: sub.G, Red: red, SR: srTab, nr: nr, Relaxations: relax, sweeps: int(sweeps)},
+			Sub:     sub,
+			Ear:     &EarAPSP{G: sub.G, Red: red, SR: srTab, nr: nr, Relaxations: relax, sweeps: int(sweeps)},
 			localOf: make(map[int32]int32, len(sub.ToParentVertex)),
 		}
 		for local, parent := range sub.ToParentVertex {

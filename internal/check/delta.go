@@ -1,0 +1,295 @@
+package check
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/apsp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Delta differential harness. ApplyDelta's correctness claim is
+// rebuild-equivalence: applying a script incrementally — one delta at a
+// time and as one batch — must answer every pair exactly like an oracle
+// built from scratch on the mutated graph, which is itself held to the
+// independent Floyd–Warshall reference. A failing script is shrunk by
+// delta debugging over its records before being reported.
+
+// DeltaScript names one delta script for the sweep.
+type DeltaScript struct {
+	Name   string
+	Deltas []apsp.Delta
+}
+
+// DeltaScripts derives the standard mutation scripts for g: weight bump,
+// zero weight, within-block and spanning inserts, a vertex-growing
+// insert, block-splitting deletes, a mixed script exercising positional
+// edge-ID semantics, and — on disconnected graphs — a component-merging
+// insert. All scripts are valid for g by construction; randomness (seeded)
+// only varies weights.
+func DeltaScripts(g *graph.Graph, seed uint64) []DeltaScript {
+	rng := gen.NewRNG(seed)
+	n := int32(g.NumVertices())
+	m := int32(g.NumEdges())
+	bump := func() graph.Weight { return graph.Weight(1 + rng.Intn(9)) }
+
+	var out []DeltaScript
+	add := func(name string, ds ...apsp.Delta) {
+		out = append(out, DeltaScript{Name: name, Deltas: ds})
+	}
+	if m > 0 {
+		e0 := g.Edge(0)
+		add("weight-bump", apsp.Delta{Kind: apsp.DeltaWeight, Edge: 0, W: e0.W + bump()})
+		add("zero-weight", apsp.Delta{Kind: apsp.DeltaWeight, Edge: m / 2, W: 0})
+		add("delete-first", apsp.Delta{Kind: apsp.DeltaDelete, Edge: 0})
+		add("delete-last", apsp.Delta{Kind: apsp.DeltaDelete, Edge: m - 1})
+		// A parallel edge lands inside the first edge's block.
+		add("insert-in-block", apsp.Delta{Kind: apsp.DeltaInsert, U: e0.U, V: e0.V, W: e0.W + bump()})
+	}
+	if n >= 2 {
+		// 0 and n-1 usually sit in different blocks (or components).
+		add("insert-span", apsp.Delta{Kind: apsp.DeltaInsert, U: 0, V: n - 1, W: bump()})
+	}
+	if n >= 1 {
+		add("insert-new-vertex", apsp.Delta{Kind: apsp.DeltaInsert, U: 0, V: n, W: bump()})
+	}
+	if m >= 2 && n >= 2 {
+		add("mixed",
+			apsp.Delta{Kind: apsp.DeltaWeight, Edge: 0, W: bump()},
+			apsp.Delta{Kind: apsp.DeltaInsert, U: 0, V: n - 1, W: bump()},
+			apsp.Delta{Kind: apsp.DeltaDelete, Edge: 0},
+			// After the delete, m-1 names the edge inserted above.
+			apsp.Delta{Kind: apsp.DeltaWeight, Edge: m - 1, W: 0},
+		)
+	}
+	if u, v, ok := twoComponentReps(g); ok {
+		add("merge-components", apsp.Delta{Kind: apsp.DeltaInsert, U: u, V: v, W: bump()})
+	}
+	return out
+}
+
+// DecodeDeltaScript maps arbitrary bytes (a fuzzer's input) onto a delta
+// script that is valid by construction for an n-vertex, m-edge graph:
+// each 5-byte group is one delta whose kind cycles through
+// weight/insert/delete and whose IDs are reduced modulo the evolving
+// edge/vertex counts — so the script respects positional edge-ID
+// semantics and the bounded-growth insert rule at every step. The mapping
+// is total; groups that cannot produce a valid delta (weight/delete on an
+// edgeless graph) are skipped.
+func DecodeDeltaScript(data []byte, n, m, maxDeltas int) []apsp.Delta {
+	var out []apsp.Delta
+	curN, curM := n, m
+	for i := 0; i+4 < len(data) && len(out) < maxDeltas; i += 5 {
+		a := int(data[i+1]) | int(data[i+2])<<8
+		b := int(data[i+3])
+		w := graph.Weight(int(data[i+4]) % 10)
+		switch apsp.DeltaKind(data[i] % 3) {
+		case apsp.DeltaWeight:
+			if curM == 0 {
+				continue
+			}
+			out = append(out, apsp.Delta{Kind: apsp.DeltaWeight, Edge: int32(a % curM), W: w})
+		case apsp.DeltaInsert:
+			u := int32(a % (curN + 2))
+			v := int32(b % (curN + 2))
+			out = append(out, apsp.Delta{Kind: apsp.DeltaInsert, U: u, V: v, W: w})
+			if hi := int(u) + 1; hi > curN {
+				curN = hi
+			}
+			if hi := int(v) + 1; hi > curN {
+				curN = hi
+			}
+			curM++
+		case apsp.DeltaDelete:
+			if curM == 0 {
+				continue
+			}
+			out = append(out, apsp.Delta{Kind: apsp.DeltaDelete, Edge: int32(a % curM)})
+			curM--
+		}
+	}
+	return out
+}
+
+// twoComponentReps returns one vertex from each of two different
+// connected components, if the graph has them.
+func twoComponentReps(g *graph.Graph) (int32, int32, bool) {
+	n := g.NumVertices()
+	label := make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	comp := int32(0)
+	var queue []int32
+	for s := 0; s < n; s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		label[s] = comp
+		queue = append(queue[:0], int32(s))
+		for qi := 0; qi < len(queue); qi++ {
+			g.Neighbors(queue[qi], func(u int32, _ int32) bool {
+				if label[u] < 0 {
+					label[u] = comp
+					queue = append(queue, u)
+				}
+				return true
+			})
+		}
+		comp++
+	}
+	if comp < 2 {
+		return 0, 0, false
+	}
+	var first int32
+	for v := int32(0); int(v) < n; v++ {
+		if label[v] == 0 {
+			first = v
+		}
+		if label[v] == 1 {
+			return first, v, true
+		}
+	}
+	return 0, 0, false
+}
+
+// DeltaDivergence reports a script on which the incremental oracle
+// disagrees with rebuild-from-scratch, minimised by delta debugging.
+type DeltaDivergence struct {
+	Graph  string
+	Script []apsp.Delta
+	Detail string
+}
+
+func (d *DeltaDivergence) Error() string {
+	return fmt.Sprintf("check: ApplyDelta diverges from rebuild on %q with %d-delta script %v: %s",
+		d.Graph, len(d.Script), d.Script, d.Detail)
+}
+
+// DeltaEquivalence asserts that applying deltas to an oracle built on g —
+// both one delta at a time and as a single batch — answers every ordered
+// pair identically to (a) a from-scratch oracle on the mutated graph and
+// (b) the Floyd–Warshall reference, with invariants and the Row surface
+// checked along the way. On divergence the script is ddmin-minimised and
+// returned as a *DeltaDivergence.
+func DeltaEquivalence(g *graph.Graph, name string, deltas []apsp.Delta, workers int) error {
+	err := deltaEquivalenceOnce(g, deltas, workers)
+	if err == nil {
+		return nil
+	}
+	// Candidates that are no longer valid scripts for g (positional edge
+	// IDs shift when records are dropped) count as non-failing, so the
+	// minimiser stays inside the input domain.
+	min := minimizeDeltas(deltas, func(cand []apsp.Delta) bool {
+		if _, err := apsp.MutateGraph(g, cand); err != nil {
+			return false
+		}
+		return deltaEquivalenceOnce(g, cand, workers) != nil
+	})
+	detail := err.Error()
+	if merr := deltaEquivalenceOnce(g, min, workers); merr != nil {
+		detail = merr.Error()
+	}
+	return &DeltaDivergence{Graph: name, Script: min, Detail: detail}
+}
+
+func deltaEquivalenceOnce(g *graph.Graph, deltas []apsp.Delta, workers int) error {
+	ctx := context.Background()
+	base, err := apsp.NewOracleParallelCtx(ctx, g, workers)
+	if err != nil {
+		return fmt.Errorf("base build: %w", err)
+	}
+	seq := base
+	for i, d := range deltas {
+		next, _, err := seq.ApplyDeltaParallel(ctx, []apsp.Delta{d}, workers)
+		if err != nil {
+			return fmt.Errorf("sequential apply of delta %d: %w", i, err)
+		}
+		seq = next
+	}
+	batch, _, err := base.ApplyDeltaParallel(ctx, deltas, workers)
+	if err != nil {
+		return fmt.Errorf("batch apply: %w", err)
+	}
+	mutated, err := apsp.MutateGraph(g, deltas)
+	if err != nil {
+		return fmt.Errorf("reference mutation: %w", err)
+	}
+	rebuilt := apsp.NewOracleParallel(mutated, workers)
+	ref := apsp.FloydWarshall(mutated)
+	n := mutated.NumVertices()
+
+	for _, side := range []struct {
+		name string
+		o    *apsp.Oracle
+	}{{"sequential", seq}, {"batch", batch}, {"rebuilt", rebuilt}} {
+		if err := side.o.CheckInvariants(); err != nil {
+			return fmt.Errorf("%s oracle invariants: %w", side.name, err)
+		}
+		if side.o.G.NumVertices() != n {
+			return fmt.Errorf("%s oracle has %d vertices, mutated graph %d",
+				side.name, side.o.G.NumVertices(), n)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				got, want := side.o.Query(int32(u), int32(v)), ref[u*n+v]
+				if got != want {
+					return fmt.Errorf("%s oracle: d(%d,%d) = %v, reference %v", side.name, u, v, got, want)
+				}
+			}
+		}
+	}
+	// The Row surface (what qe serves from) must agree with Query on the
+	// incremental oracle.
+	row := make([]graph.Weight, n)
+	for u := 0; u < n; u++ {
+		if _, err := seq.RowChecked(int32(u), row); err != nil {
+			return fmt.Errorf("RowChecked(%d): %w", u, err)
+		}
+		for v := 0; v < n; v++ {
+			if row[v] != ref[u*n+v] {
+				return fmt.Errorf("row %d entry %d = %v, reference %v", u, v, row[v], ref[u*n+v])
+			}
+		}
+	}
+	return nil
+}
+
+// minimizeDeltas is ddmin (the MinimizeEdges loop) over a delta script:
+// it shrinks deltas to a locally minimal sub-script still satisfying
+// fails. fails must be deterministic and treat invalid candidate scripts
+// as non-failing.
+func minimizeDeltas(deltas []apsp.Delta, fails func([]apsp.Delta) bool) []apsp.Delta {
+	cur := append([]apsp.Delta(nil), deltas...)
+	granularity := 2
+	for len(cur) > 1 {
+		if granularity > len(cur) {
+			granularity = len(cur)
+		}
+		chunk := (len(cur) + granularity - 1) / granularity
+		reduced := false
+		for lo := 0; lo < len(cur); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			cand := make([]apsp.Delta, 0, len(cur)-(hi-lo))
+			cand = append(cand, cur[:lo]...)
+			cand = append(cand, cur[hi:]...)
+			if len(cand) > 0 && fails(cand) {
+				cur = cand
+				granularity = 2
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if granularity >= len(cur) {
+				break
+			}
+			granularity *= 2
+		}
+	}
+	return cur
+}

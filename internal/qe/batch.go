@@ -33,13 +33,16 @@ const (
 // On deadline expiry mid-batch the remaining rows are skipped and the
 // context error is returned; no partial matrix is produced.
 func (e *Engine) Batch(ctx context.Context, sources, targets []int32) ([][]graph.Weight, error) {
+	e.mu.Lock()
+	rs, n := e.src, e.n
+	e.mu.Unlock()
 	for _, u := range sources {
-		if err := e.checkVertex("source", u); err != nil {
+		if err := e.checkVertex("source", u, n); err != nil {
 			return nil, err
 		}
 	}
 	for _, v := range targets {
-		if err := e.checkVertex("target", v); err != nil {
+		if err := e.checkVertex("target", v, n); err != nil {
 			return nil, err
 		}
 	}
@@ -65,9 +68,9 @@ func (e *Engine) Batch(ctx context.Context, sources, targets []int32) ([][]graph
 
 	rows := make([][]graph.Weight, len(distinct))
 	units := make([]hetero.Unit, len(distinct))
-	sizer, hasSizer := e.src.(Sizer)
+	sizer, hasSizer := rs.(Sizer)
 	for i, u := range distinct {
-		size := int64(e.n)
+		size := int64(n)
 		if hasSizer {
 			size = sizer.RowCost(u)
 		}
@@ -97,6 +100,13 @@ func (e *Engine) Batch(ctx context.Context, sources, targets []int32) ([][]graph
 		row := rows[index[u]]
 		dst := flat[i*len(targets) : (i+1)*len(targets)]
 		for j, v := range targets {
+			// A row served from an older epoch can be shorter than the
+			// validated target range (see Query); out-of-range means
+			// unreachable in that row's view of the graph.
+			if int(v) >= len(row) {
+				dst[j] = inf
+				continue
+			}
 			dst[j] = row[v]
 		}
 		out[i] = dst

@@ -113,3 +113,30 @@ func (c *rowCache) put(src int32, row []graph.Weight) {
 		c.evictions.Inc()
 	}
 }
+
+// removeIf drops every entry whose source satisfies pred, returning the
+// number removed. Removals count as evictions and release occupancy, so
+// the gauges stay truthful across invalidation sweeps.
+func (c *rowCache) removeIf(pred func(src int32) bool) int {
+	removed := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		el := s.ll.Front()
+		for el != nil {
+			next := el.Next()
+			if ent := el.Value.(*cacheEntry); pred(ent.src) {
+				s.ll.Remove(el)
+				delete(s.m, ent.src)
+				removed++
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+	if removed > 0 {
+		c.evictions.Add(int64(removed))
+		c.occupancy.Add(int64(-removed))
+	}
+	return removed
+}

@@ -1,0 +1,177 @@
+package qe
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// valSource fills every row entry with a fixed value, optionally
+// signalling row starts and blocking on a gate so tests can freeze a
+// build mid-flight.
+type valSource struct {
+	n       int
+	val     graph.Weight
+	entered chan int32    // nil: don't signal
+	gate    chan struct{} // nil: don't block
+}
+
+func (s *valSource) NumVertices() int { return s.n }
+
+func (s *valSource) Row(src int32, out []graph.Weight) int64 {
+	if s.entered != nil {
+		s.entered <- src
+	}
+	if s.gate != nil {
+		<-s.gate
+	}
+	for i := range out[:s.n] {
+		out[i] = s.val
+	}
+	return int64(s.n)
+}
+
+// TestSwapSourceEvictsExactlyStaleRows is the cache-invalidation property:
+// after a swap with a stale mask, every cached row with a stale source is
+// gone (and accounted as an eviction), and every fresh row still serves
+// hits without a rebuild.
+func TestSwapSourceEvictsExactlyStaleRows(t *testing.T) {
+	reg := obs.NewRegistry()
+	old := &valSource{n: 8, val: 1}
+	e := New(old, Config{CacheRows: 16, MaxInflight: 4, Reg: reg})
+	ctx := context.Background()
+
+	for src := int32(0); src < 8; src++ {
+		if _, err := e.Query(ctx, src, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("qe.rows.built").Value(); got != 8 {
+		t.Fatalf("built %d rows priming the cache, want 8", got)
+	}
+
+	// Sources 0..3 are in the "touched block"; 4..7 are not.
+	stale := []bool{true, true, true, true, false, false, false, false}
+	evicted := e.SwapSource(&valSource{n: 8, val: 2}, stale)
+	if evicted != 4 {
+		t.Fatalf("evicted %d rows, want 4", evicted)
+	}
+	if got := reg.Counter("qe.cache.evictions").Value(); got != 4 {
+		t.Fatalf("qe.cache.evictions = %d, want 4", got)
+	}
+	if got := reg.Gauge("qe.cache.rows").Value(); got != 4 {
+		t.Fatalf("qe.cache.rows = %d after sweep, want 4", got)
+	}
+
+	// Fresh sources keep their hits: no new builds.
+	hits0 := reg.Counter("qe.cache.hits").Value()
+	for src := int32(4); src < 8; src++ {
+		d, err := e.Query(ctx, src, 0)
+		if err != nil || d != 1 {
+			t.Fatalf("fresh source %d: d=%v err=%v, want cached old value 1", src, d, err)
+		}
+	}
+	if got := reg.Counter("qe.rows.built").Value(); got != 8 {
+		t.Fatalf("fresh rows rebuilt: builds = %d, want 8", got)
+	}
+	if got := reg.Counter("qe.cache.hits").Value(); got != hits0+4 {
+		t.Fatalf("hits = %d, want %d", got, hits0+4)
+	}
+
+	// Stale sources rebuild against the new oracle.
+	for src := int32(0); src < 4; src++ {
+		d, err := e.Query(ctx, src, 0)
+		if err != nil || d != 2 {
+			t.Fatalf("stale source %d: d=%v err=%v, want new value 2", src, d, err)
+		}
+	}
+	if got := reg.Counter("qe.rows.built").Value(); got != 12 {
+		t.Fatalf("builds = %d after re-querying stale sources, want 12", got)
+	}
+}
+
+// TestSwapSourceRacingBuildIsFullyOldOrFullyNew gates an in-flight row
+// build across a SwapSource: the racing build's waiters get the complete
+// old row, the old row never enters the cache, and the next query sees
+// the complete new row.
+func TestSwapSourceRacingBuildIsFullyOldOrFullyNew(t *testing.T) {
+	reg := obs.NewRegistry()
+	old := &valSource{n: 4, val: 1, entered: make(chan int32), gate: make(chan struct{})}
+	e := New(old, Config{CacheRows: 16, MaxInflight: 4, Reg: reg})
+	ctx := context.Background()
+
+	type res struct {
+		d   graph.Weight
+		err error
+	}
+	got := make(chan res, 1)
+	go func() {
+		d, err := e.Query(ctx, 0, 1)
+		got <- res{d, err}
+	}()
+	<-old.entered // the build against the old source is now in flight
+
+	stale := []bool{true, true, true, true}
+	e.SwapSource(&valSource{n: 4, val: 2}, stale)
+	close(old.gate)
+
+	r := <-got
+	if r.err != nil || r.d != 1 {
+		t.Fatalf("racing query: d=%v err=%v, want the fully-old value 1", r.d, r.err)
+	}
+	// The stale-epoch row must not have been admitted to the cache: the
+	// next query builds fresh and sees only new values.
+	d, err := e.Query(ctx, 0, 1)
+	if err != nil || d != 2 {
+		t.Fatalf("post-swap query: d=%v err=%v, want the fully-new value 2", d, err)
+	}
+	if got := reg.Counter("qe.rows.built").Value(); got != 2 {
+		t.Fatalf("builds = %d, want 2 (old row not cached, new row built once)", got)
+	}
+	if d, err := e.Query(ctx, 0, 1); err != nil || d != 2 {
+		t.Fatalf("cached new row: d=%v err=%v", d, err)
+	} else if got := reg.Counter("qe.rows.built").Value(); got != 2 {
+		t.Fatalf("new row missed the cache: builds = %d", got)
+	}
+}
+
+// TestSwapSourceGrowsVertexRange swaps in a larger source: previously
+// cached (fresh) rows are shorter than the new vertex range, and queries
+// beyond their length answer unreachable instead of panicking, while new
+// sources get full-width rows.
+func TestSwapSourceGrowsVertexRange(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(&valSource{n: 3, val: 1}, Config{CacheRows: 16, MaxInflight: 2, Reg: reg})
+	ctx := context.Background()
+	if _, err := e.Query(ctx, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Source 0's component is untouched; the graph gained vertices 3, 4.
+	e.SwapSource(&valSource{n: 5, val: 2}, []bool{false, false, false})
+	if e.NumVertices() != 5 {
+		t.Fatalf("NumVertices = %d, want 5", e.NumVertices())
+	}
+	d, err := e.Query(ctx, 0, 4) // served from the old, shorter cached row
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Unreachable(d) {
+		t.Fatalf("d(0,4) = %v from pre-growth row, want unreachable", d)
+	}
+	d, err = e.Query(ctx, 3, 4) // new vertex: fresh full-width row
+	if err != nil || d != 2 {
+		t.Fatalf("d(3,4) = %v err=%v, want 2", d, err)
+	}
+
+	// Batch across the boundary: old row answers inf beyond its range.
+	out, err := e.Batch(ctx, []int32{0, 3}, []int32{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Unreachable(out[0][1]) || out[1][1] != 2 {
+		t.Fatalf("batch = %v, want [[1 inf] [2 2]]", out)
+	}
+}

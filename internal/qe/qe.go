@@ -89,14 +89,19 @@ const DefaultCacheRows = 4096
 
 // Engine answers point and bulk distance queries over one RowSource.
 type Engine struct {
-	src      RowSource
-	n        int
 	cache    *rowCache // nil when caching is disabled
 	adm      *admission
 	deadline time.Duration
 	workers  int
 
+	// mu guards the live source, its vertex count, the swap epoch, and
+	// the in-flight map. src/n change only through SwapSource; epoch
+	// increments on every swap so a row built against a replaced source
+	// is never admitted to the cache (see getRow and SwapSource).
 	mu     sync.Mutex
+	src    RowSource
+	n      int
+	epoch  uint64
 	flight map[int32]*rowCall
 
 	builds       *obs.Counter
@@ -153,13 +158,18 @@ func New(src RowSource, cfg Config) *Engine {
 	return e
 }
 
-// NumVertices returns the vertex count of the underlying source.
-func (e *Engine) NumVertices() int { return e.n }
+// NumVertices returns the vertex count of the current source.
+func (e *Engine) NumVertices() int {
+	e.mu.Lock()
+	n := e.n
+	e.mu.Unlock()
+	return n
+}
 
-// checkVertex validates one vertex ID.
-func (e *Engine) checkVertex(what string, v int32) error {
-	if v < 0 || int(v) >= e.n {
-		return fmt.Errorf("%s %d outside [0, %d): %w", what, v, e.n, ErrVertexRange)
+// checkVertex validates one vertex ID against vertex count n.
+func (e *Engine) checkVertex(what string, v int32, n int) error {
+	if v < 0 || int(v) >= n {
+		return fmt.Errorf("%s %d outside [0, %d): %w", what, v, n, ErrVertexRange)
 	}
 	return nil
 }
@@ -181,10 +191,11 @@ func (e *Engine) withDeadline(ctx context.Context) (context.Context, context.Can
 // error is ErrOverloaded, a context error from waiting for admission, or
 // ErrVertexRange; unreachable pairs report apsp Inf, not an error.
 func (e *Engine) Query(ctx context.Context, u, v int32) (graph.Weight, error) {
-	if err := e.checkVertex("source", u); err != nil {
+	n := e.NumVertices()
+	if err := e.checkVertex("source", u, n); err != nil {
 		return graph.Weight(inf), err
 	}
-	if err := e.checkVertex("target", v); err != nil {
+	if err := e.checkVertex("target", v, n); err != nil {
 		return graph.Weight(inf), err
 	}
 	ctx, cancel := e.withDeadline(ctx)
@@ -193,12 +204,24 @@ func (e *Engine) Query(ctx context.Context, u, v int32) (graph.Weight, error) {
 		return graph.Weight(inf), err
 	}
 	defer e.adm.release()
-	return e.getRow(u)[v], nil
+	row := e.getRow(u)
+	// A coalesced or cached row may predate a SwapSource that grew the
+	// graph; targets beyond its length are unreachable in that older view.
+	if int(v) >= len(row) {
+		return graph.Weight(inf), nil
+	}
+	return row[v], nil
 }
 
 // getRow returns the distance row for src: cache hit, coalesced wait, or
 // a fresh build on the calling goroutine. Callers must have validated src.
 // Returned rows are shared and read-only.
+//
+// Every row is built against exactly one source: the build captures
+// (src, n, epoch) in one critical section, and the finished row enters
+// the cache only if the epoch is still current when it completes. A build
+// racing a SwapSource therefore yields a row that is fully old — served
+// to its waiters, never cached — or fully new; never a mix.
 func (e *Engine) getRow(src int32) []graph.Weight {
 	if e.cache != nil {
 		if row, ok := e.cache.get(src); ok {
@@ -214,20 +237,24 @@ func (e *Engine) getRow(src int32) []graph.Weight {
 	}
 	c := &rowCall{done: make(chan struct{})}
 	e.flight[src] = c
+	rs, n, epoch := e.src, e.n, e.epoch
 	e.mu.Unlock()
 
 	t0 := time.Now()
-	row := make([]graph.Weight, e.n)
-	ops := e.src.Row(src, row)
+	row := make([]graph.Weight, n)
+	ops := rs.Row(src, row)
 	e.builds.Inc()
 	e.buildOps.Add(ops)
 	e.buildLat.Observe(time.Since(t0))
 	c.row = row
-	if e.cache != nil {
-		e.cache.put(src, row)
-	}
+	// The epoch re-check and the cache insert share the critical section
+	// with SwapSource's epoch bump, so a stale row either lands before the
+	// swap (and the swap's eviction pass removes it) or is never cached.
 	e.mu.Lock()
 	delete(e.flight, src)
+	if e.cache != nil && e.epoch == epoch {
+		e.cache.put(src, row)
+	}
 	e.mu.Unlock()
 	close(c.done)
 	return row

@@ -212,6 +212,9 @@ type Encoder struct{ b []byte }
 // Len returns the number of bytes encoded so far.
 func (e *Encoder) Len() int { return len(e.b) }
 
+// U8 appends a single byte (compact enum tags, e.g. delta kinds).
+func (e *Encoder) U8(v uint8) { e.b = append(e.b, v) }
+
 // U32 appends a uint32.
 func (e *Encoder) U32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
 
@@ -304,6 +307,15 @@ func (d *Decoder) take(n int, what string) []byte {
 	out := d.b[:n]
 	d.b = d.b[n:]
 	return out
+}
+
+// U8 reads a single byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1, "uint8")
+	if b == nil {
+		return 0
+	}
+	return b[0]
 }
 
 // U32 reads a uint32.

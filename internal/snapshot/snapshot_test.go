@@ -151,3 +151,44 @@ func TestDecoderSticky(t *testing.T) {
 		t.Errorf("Finish with trailing bytes = %v", err)
 	}
 }
+
+func TestU8RoundTrip(t *testing.T) {
+	w := NewWriter()
+	s := w.Section("bytes")
+	s.U8(0)
+	s.U8(2)
+	s.U8(255)
+	s.U32(9)
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.Section("bytes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []uint8{0, 2, 255} {
+		if got := d.U8(); got != want {
+			t.Fatalf("U8 = %d, want %d", got, want)
+		}
+	}
+	if got := d.U32(); got != 9 {
+		t.Fatalf("U32 after U8s = %d", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Reading past the end is a sticky typed error, not a panic.
+	d2, _ := r.Section("bytes")
+	for i := 0; i < 8; i++ {
+		d2.U8()
+	}
+	d2.U8()
+	if !errors.Is(d2.Err(), ErrCorrupt) {
+		t.Fatalf("overread err = %v, want ErrCorrupt", d2.Err())
+	}
+}

@@ -186,6 +186,57 @@ func LoadOracle(path string) (*APSPOracle, error) {
 	return apsp.ReadOracle(f)
 }
 
+// Live updates (deltas).
+//
+// ApplyDelta mutates an oracle incrementally: it classifies an ordered
+// edge/weight delta script against the block partition, recomputes only
+// the affected blocks, and returns a NEW oracle — the receiver keeps
+// serving unchanged, so a server can swap atomically. Edge IDs are
+// positional at application time: a delete shifts later IDs down, an
+// insert appends.
+type (
+	// Delta is one edge/weight mutation in a script.
+	Delta = apsp.Delta
+	// DeltaKind discriminates weight change, insertion, deletion.
+	DeltaKind = apsp.DeltaKind
+	// DeltaResult reports what one ApplyDelta call recomputed and which
+	// vertices' cached rows went stale.
+	DeltaResult = apsp.DeltaResult
+)
+
+// The delta kinds.
+const (
+	// DeltaWeight changes the weight of an existing edge.
+	DeltaWeight = apsp.DeltaWeight
+	// DeltaInsert adds an edge (possibly growing the vertex set by its
+	// endpoints).
+	DeltaInsert = apsp.DeltaInsert
+	// DeltaDelete removes an edge; later edge IDs shift down by one.
+	DeltaDelete = apsp.DeltaDelete
+)
+
+// ErrBadDelta reports an invalid delta script: the whole script is
+// validated before any recomputation, so a script rejected with this
+// error changed nothing.
+var ErrBadDelta = apsp.ErrBadDelta
+
+// ApplyDelta applies an ordered delta script to o, returning the updated
+// oracle (o itself is untouched) and a report of what was recomputed.
+func ApplyDelta(ctx context.Context, o *APSPOracle, deltas []Delta) (*APSPOracle, *DeltaResult, error) {
+	return o.ApplyDelta(ctx, deltas)
+}
+
+// MutateGraph applies a delta script to a graph alone — the reference
+// semantics ApplyDelta is differentially tested against.
+func MutateGraph(g *Graph, deltas []Delta) (*Graph, error) { return apsp.MutateGraph(g, deltas) }
+
+// WriteOracleChain serialises o plus a delta script as one chain
+// snapshot: ReadOracle of the stream replays the script onto o, so a
+// restarted server resumes at the chain's head state.
+func WriteOracleChain(w io.Writer, o *APSPOracle, deltas []Delta) (int64, error) {
+	return o.WriteChainTo(w, deltas)
+}
+
 // Query serving.
 type (
 	// QueryEngine is the batched query engine of the serving stack: rows
