@@ -1,0 +1,90 @@
+// Command benchgate is the CI benchmark-regression gate: it parses
+// `go test -json` benchmark output, compares it against a committed
+// baseline (ci/bench_baseline.json), prints a benchstat-style table, and
+// exits non-zero when a tracked benchmark regresses.
+//
+//	go test -run='^$' -bench=BenchmarkQE -benchtime=100x -json ./internal/qe/... > BENCH_alloc.json
+//	benchgate -input BENCH_alloc.json -baseline ci/bench_baseline.json
+//
+// allocs/op is the hard metric: it is deterministic for the steady-state
+// benchmarks the baseline tracks, a zero baseline demands exactly zero,
+// and anything beyond -allocs-threshold fails. ns/op is gated by
+// -ns-threshold on quiet machines and disabled with a negative threshold
+// on shared CI runners, where wall-clock noise would make a hard gate
+// flaky; either way the table records it. -update rewrites the tracked
+// entries (with -all, every benchmark in the input) from the current run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	input := flag.String("input", "-", "go test -json benchmark stream (- for stdin)")
+	baseline := flag.String("baseline", "ci/bench_baseline.json", "committed baseline to gate against")
+	allocsThreshold := flag.Float64("allocs-threshold", 0.10, "relative allocs/op slack (0.10 = +10%; zero baselines always require exactly 0)")
+	nsThreshold := flag.Float64("ns-threshold", 0.10, "relative ns/op slack (negative disables the wall-clock gate)")
+	update := flag.Bool("update", false, "rewrite the baseline's tracked entries from this run instead of gating")
+	all := flag.Bool("all", false, "with -update: track every benchmark in the input, not just existing entries")
+	cli.SetUsage("benchgate", "[-input bench.json] [-baseline ci/bench_baseline.json] [flags]")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			cli.Fatalf("benchgate", "input: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		cli.Fatalf("benchgate", "parse %s: %v", *input, err)
+	}
+	if len(results) == 0 {
+		cli.Fatalf("benchgate", "no benchmark results in %s", *input)
+	}
+
+	var base baselineFile
+	raw, err := os.ReadFile(*baseline)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &base); err != nil {
+			cli.Fatalf("benchgate", "baseline %s: %v", *baseline, err)
+		}
+	case os.IsNotExist(err) && *update:
+		// First -update run creates the baseline.
+	default:
+		cli.Fatalf("benchgate", "baseline: %v", err)
+	}
+
+	if *update {
+		updateBaseline(&base, results, *all)
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			cli.Fatalf("benchgate", "encode baseline: %v", err)
+		}
+		if err := os.WriteFile(*baseline, append(out, '\n'), 0o644); err != nil {
+			cli.Fatalf("benchgate", "write baseline: %v", err)
+		}
+		fmt.Printf("benchgate: baseline %s updated (%d tracked)\n", *baseline, len(base.Benchmarks))
+		return
+	}
+
+	rep := gate(results, base, *allocsThreshold, *nsThreshold)
+	fmt.Print(rep.Table)
+	if len(rep.Failures) > 0 {
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: gate green")
+}

@@ -31,6 +31,23 @@ type deltasRequest struct {
 	Deltas []deltaRecord `json:"deltas"`
 }
 
+// deltasResponse is the POST /v1/deltas result body. The two optional
+// fields omit themselves when irrelevant: MCBInvalidated only appears
+// when a basis was actually dropped, ChainDeltas only when chain
+// persistence is on (so 0 uses omitempty safely — an enabled, empty chain
+// cannot reach here, since an apply always appends at least one delta).
+type deltasResponse struct {
+	Applied         int  `json:"applied"`
+	TouchedBlocks   int  `json:"touched_blocks"`
+	ReusedBlocks    int  `json:"reused_blocks"`
+	RebuildFallback bool `json:"rebuild_fallback"`
+	EvictedRows     int  `json:"evicted_rows"`
+	Vertices        int  `json:"vertices"`
+	Edges           int  `json:"edges"`
+	MCBInvalidated  bool `json:"mcb_invalidated,omitempty"`
+	ChainDeltas     int  `json:"chain_deltas,omitempty"`
+}
+
 func (rec *deltaRecord) decode(i int) (apsp.Delta, error) {
 	switch rec.Op {
 	case "weight":
@@ -116,17 +133,15 @@ func (s *server) deltas(r *http.Request) (interface{}, error) {
 	s.basis = nil
 	s.mu.Unlock()
 
-	resp := map[string]interface{}{
-		"applied":          len(ds),
-		"touched_blocks":   res.TouchedBlocks,
-		"reused_blocks":    res.ReusedBlocks,
-		"rebuild_fallback": res.RebuildFallback,
-		"evicted_rows":     evicted,
-		"vertices":         next.G.NumVertices(),
-		"edges":            next.G.NumEdges(),
-	}
-	if mcbInvalidated {
-		resp["mcb_invalidated"] = true
+	resp := deltasResponse{
+		Applied:         len(ds),
+		TouchedBlocks:   res.TouchedBlocks,
+		ReusedBlocks:    res.ReusedBlocks,
+		RebuildFallback: res.RebuildFallback,
+		EvictedRows:     evicted,
+		Vertices:        next.G.NumVertices(),
+		Edges:           next.G.NumEdges(),
+		MCBInvalidated:  mcbInvalidated,
 	}
 	if s.chainPath != "" {
 		s.chainDeltas = append(s.chainDeltas, ds...)
@@ -136,7 +151,7 @@ func (s *server) deltas(r *http.Request) (interface{}, error) {
 			return nil, &httpError{http.StatusInternalServerError,
 				fmt.Errorf("deltas applied but chain snapshot failed: %w", err)}
 		}
-		resp["chain_deltas"] = len(s.chainDeltas)
+		resp.ChainDeltas = len(s.chainDeltas)
 	}
 	return resp, nil
 }

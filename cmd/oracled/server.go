@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -19,12 +20,10 @@ import (
 	"repro/internal/qe"
 )
 
-// maxBatchBody and maxBatchPairs bound one /batch request: the JSON body
-// size and the N×M result cells it may demand.
-const (
-	maxBatchBody  = 8 << 20
-	maxBatchPairs = 1 << 20
-)
+// maxBatchBody bounds one /batch request's JSON body; the N×M result
+// cells it may demand are bounded by the engine's MaxBatchPairs cap
+// (-max-batch-pairs), whose typed ErrBatchTooLarge maps to 400 below.
+const maxBatchBody = 8 << 20
 
 // server is the HTTP face of one built oracle. The oracle tables
 // themselves are immutable — POST /v1/deltas never mutates them, it swaps
@@ -124,6 +123,46 @@ type errorEnvelope struct {
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
+// jsonBuf is a pooled response encoder: a reusable byte buffer with a
+// json.Encoder bound to it. Handlers encode into the buffer, then write
+// it out in one shot with an exact Content-Length — no per-response
+// encoder or buffer allocations at steady state.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufPool = sync.Pool{New: func() interface{} {
+	b := &jsonBuf{}
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
+
+// jsonBufMaxRetained caps the buffer size returned to the pool so one
+// huge batch response does not pin megabytes for the rest of the
+// process's life.
+const jsonBufMaxRetained = 1 << 20
+
+// writeJSON encodes v into a pooled buffer and writes it as the complete
+// response with the given status. Encoding errors (a handler returned an
+// unencodable value — a programming error) degrade to a plain 500.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	b := jsonBufPool.Get().(*jsonBuf)
+	b.buf.Reset()
+	if err := b.enc.Encode(v); err != nil {
+		jsonBufPool.Put(b)
+		http.Error(w, `{"error":"response encoding failed","code":"internal"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(b.buf.Len()))
+	w.WriteHeader(status)
+	w.Write(b.buf.Bytes())
+	if b.buf.Cap() <= jsonBufMaxRetained {
+		jsonBufPool.Put(b)
+	}
+}
+
 // errorCode maps an HTTP status to the envelope's machine-readable code.
 func errorCode(status int) string {
 	switch status {
@@ -156,7 +195,6 @@ func (s *server) handle(name string, fn func(r *http.Request) (interface{}, erro
 		reqs.Inc()
 		defer func() { lat.Observe(time.Since(t0)) }()
 		out, err := fn(r)
-		w.Header().Set("Content-Type", "application/json")
 		if err != nil {
 			errs.Inc()
 			status := http.StatusBadRequest
@@ -178,21 +216,60 @@ func (s *server) handle(name string, fn func(r *http.Request) (interface{}, erro
 			if env.Code == "" {
 				env.Code = errorCode(status)
 			}
-			w.WriteHeader(status)
-			json.NewEncoder(w).Encode(env)
+			writeJSON(w, status, env)
 			return
 		}
-		json.NewEncoder(w).Encode(out)
+		writeJSON(w, http.StatusOK, out)
 	}
+}
+
+// Typed response bodies. Encoding structs instead of map[string]interface{}
+// keeps the wire field names pinned at compile time (the CI smoke greps
+// depend on them) and spares the encoder the per-request map sort and
+// interface boxing.
+type healthResponse struct {
+	Status   string `json:"status"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	MCB      bool   `json:"mcb"`
+}
+
+// pairResponse is /distance's body; /path embeds it. Distance is a
+// pointer so an unreachable pair omits the field entirely (as the map
+// implementation did) while a legal zero distance still serialises.
+type pairResponse struct {
+	U         int32         `json:"u"`
+	V         int32         `json:"v"`
+	Reachable bool          `json:"reachable"`
+	Distance  *graph.Weight `json:"distance,omitempty"`
+}
+
+type pathResponse struct {
+	pairResponse
+	Path []int32 `json:"path,omitempty"`
+}
+
+type batchResponse struct {
+	Sources   int         `json:"sources"`
+	Targets   int         `json:"targets"`
+	Distances [][]float64 `json:"distances"`
+}
+
+type cycleResponse struct {
+	Index    int          `json:"index"`
+	Dim      int          `json:"dim"`
+	Weight   graph.Weight `json:"weight"`
+	Edges    [][2]int32   `json:"edges"`
+	Vertices []int32      `json:"vertices"`
 }
 
 func (s *server) healthz(*http.Request) (interface{}, error) {
 	g, _, basis := s.state()
-	return map[string]interface{}{
-		"status":   "ok",
-		"vertices": g.NumVertices(),
-		"edges":    g.NumEdges(),
-		"mcb":      basis != nil,
+	return healthResponse{
+		Status:   "ok",
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		MCB:      basis != nil,
 	}, nil
 }
 
@@ -217,9 +294,9 @@ func (s *server) distance(r *http.Request) (interface{}, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp := map[string]interface{}{"u": u, "v": v, "reachable": d < apsp.Inf}
-	if d < apsp.Inf {
-		resp["distance"] = d
+	resp := pairResponse{U: u, V: v, Reachable: d < apsp.Inf}
+	if resp.Reachable {
+		resp.Distance = &d
 	}
 	return resp, nil
 }
@@ -241,10 +318,10 @@ func (s *server) path(r *http.Request) (interface{}, error) {
 	if err != nil {
 		return nil, &httpError{http.StatusInternalServerError, err}
 	}
-	resp := map[string]interface{}{"u": u, "v": v, "reachable": d < apsp.Inf}
-	if d < apsp.Inf {
-		resp["distance"] = d
-		resp["path"] = walk
+	resp := pathResponse{pairResponse: pairResponse{U: u, V: v, Reachable: d < apsp.Inf}}
+	if resp.Reachable {
+		resp.Distance = &d
+		resp.Path = walk
 	}
 	return resp, nil
 }
@@ -273,9 +350,8 @@ func (s *server) batch(r *http.Request) (interface{}, error) {
 	if err := dec.Decode(&req); err != nil {
 		return nil, fmt.Errorf("batch body: %w", err)
 	}
-	if pairs := int64(len(req.Sources)) * int64(len(req.Targets)); pairs > maxBatchPairs {
-		return nil, fmt.Errorf("batch of %d pairs exceeds the %d limit", pairs, maxBatchPairs)
-	}
+	// Oversized matrices are rejected by the engine's MaxBatchPairs cap
+	// (typed qe.ErrBatchTooLarge → 400) before anything is allocated.
 	rows, err := s.engine.Batch(r.Context(), req.Sources, req.Targets)
 	if err != nil {
 		return nil, err
@@ -291,10 +367,10 @@ func (s *server) batch(r *http.Request) (interface{}, error) {
 			}
 		}
 	}
-	return map[string]interface{}{
-		"sources":   len(req.Sources),
-		"targets":   len(req.Targets),
-		"distances": dist,
+	return batchResponse{
+		Sources:   len(req.Sources),
+		Targets:   len(req.Targets),
+		Distances: dist,
 	}, nil
 }
 
@@ -304,10 +380,14 @@ func (s *server) mcbCycle(r *http.Request) (interface{}, error) {
 		return nil, &httpError{http.StatusServiceUnavailable,
 			fmt.Errorf("no cycle basis loaded (start with -mcb, invalidated by deltas)")}
 	}
-	i, err := strconv.Atoi(r.URL.Query().Get("i"))
+	// ParseInt with a 32-bit size, like every other vertex/index parameter:
+	// Atoi on a 64-bit platform accepted values beyond int32 and let them
+	// reach the basis API as silently different numbers on 32-bit builds.
+	i64, err := strconv.ParseInt(r.URL.Query().Get("i"), 10, 32)
 	if err != nil {
-		return nil, fmt.Errorf("need integer query parameter i")
+		return nil, fmt.Errorf("need 32-bit integer query parameter i")
 	}
+	i := int(i64)
 	c, err := basis.CycleChecked(g, i)
 	if err != nil {
 		if errors.Is(err, mcb.ErrCycleIndex) {
@@ -324,12 +404,12 @@ func (s *server) mcbCycle(r *http.Request) (interface{}, error) {
 		e := g.Edge(eid)
 		edges[j] = [2]int32{e.U, e.V}
 	}
-	return map[string]interface{}{
-		"index":    i,
-		"dim":      basis.Dim,
-		"weight":   c.Weight,
-		"edges":    edges,
-		"vertices": seq,
+	return cycleResponse{
+		Index:    i,
+		Dim:      basis.Dim,
+		Weight:   c.Weight,
+		Edges:    edges,
+		Vertices: seq,
 	}, nil
 }
 

@@ -326,8 +326,9 @@ func (o *Oracle) applyWeightOnly(ctx context.Context, tr *editTrace, workers int
 
 	n := &Oracle{
 		G: newG, Dec: o.Dec, BCT: o.BCT, numA: o.numA,
-		A: o.A, apGraph: o.apGraph, apEdgeBlock: o.apEdgeBlock,
-		nodeParent: o.nodeParent, nodeDepth: o.nodeDepth, nodeRoot: o.nodeRoot, up: o.up,
+		A: o.A, a32: o.a32, compact: o.compact, apGraph: o.apGraph, apEdgeBlock: o.apEdgeBlock,
+		nodeParent: o.nodeParent, nodeDepth: o.nodeDepth, nodeRoot: o.nodeRoot,
+		up: o.up, upLevels: o.upLevels, loc: o.loc,
 		Relaxations: o.Relaxations,
 		BuildPhases: &obs.Phases{},
 	}
@@ -343,6 +344,14 @@ func (o *Oracle) applyWeightOnly(ctx context.Context, tr *editTrace, workers int
 		if err != nil {
 			return nil, nil, err
 		}
+		// The shared vertex index stays valid for the rebuilt block:
+		// InducedByEdges on the same edge sequence reproduces the same
+		// local-ID assignment, so only the stamp needs refreshing.
+		blk.bi = int32(bi)
+		blk.loc = n.loc
+		if n.compact {
+			blk.Ear.compress()
+		}
 		n.Blocks[bi] = blk
 		n.Relaxations += blk.Ear.Relaxations
 		if len(o.BCT.BlockCuts[bi]) >= 2 {
@@ -350,7 +359,7 @@ func (o *Oracle) applyWeightOnly(ctx context.Context, tr *editTrace, workers int
 		}
 	}
 	if apRebuild {
-		n.A, n.apGraph, n.apEdgeBlock = nil, nil, nil
+		n.A, n.a32, n.apGraph, n.apEdgeBlock = nil, nil, nil, nil
 		n.buildAPTable()
 	}
 	res := &DeltaResult{
@@ -380,6 +389,7 @@ func (o *Oracle) applyStructural(ctx context.Context, tr *editTrace, workers int
 	bct := bcc.BuildBlockCutTree(newG, dec)
 	n := &Oracle{
 		G: newG, Dec: dec, BCT: bct, numA: len(bct.CutVertices),
+		compact:     o.compact,
 		Relaxations: o.Relaxations,
 		BuildPhases: &obs.Phases{},
 	}
@@ -436,8 +446,8 @@ func (o *Oracle) applyStructural(ctx context.Context, tr *editTrace, workers int
 			}
 		}
 		if shared != nil {
-			blk := &BlockAPSP{Sub: sub, Ear: shared, localOf: localIndex(sub)}
-			n.Blocks[ci] = blk
+			// A reused Ear from a compact oracle is already compressed.
+			n.Blocks[ci] = &BlockAPSP{Sub: sub, Ear: shared}
 			reused++
 			continue
 		}
@@ -445,10 +455,14 @@ func (o *Oracle) applyStructural(ctx context.Context, tr *editTrace, workers int
 		if err != nil {
 			return nil, nil, err
 		}
+		if n.compact {
+			blk.Ear.compress()
+		}
 		n.Blocks[ci] = blk
 		n.Relaxations += blk.Ear.Relaxations
 		touchedNew[int32(ci)] = true
 	}
+	n.buildLocIndex()
 	n.buildForest()
 	n.buildAPTable()
 
@@ -485,22 +499,16 @@ func (o *Oracle) applyStructural(ctx context.Context, tr *editTrace, workers int
 	return n, res, nil
 }
 
-// buildBlock constructs one BlockAPSP from its subgraph.
+// buildBlock constructs one BlockAPSP from its subgraph. The caller is
+// responsible for stamping the block with its ID and the oracle's shared
+// vertex index (directly or via buildLocIndex) and, in compact mode, for
+// compressing the fresh Ear.
 func buildBlock(ctx context.Context, sub *graph.Subgraph, workers int) (*BlockAPSP, error) {
 	ea, err := NewEarAPSPParallelCtx(ctx, sub.G, workers)
 	if err != nil {
 		return nil, err
 	}
-	return &BlockAPSP{Sub: sub, Ear: ea, localOf: localIndex(sub)}, nil
-}
-
-// localIndex inverts a subgraph's ToParentVertex map.
-func localIndex(sub *graph.Subgraph) map[int32]int32 {
-	m := make(map[int32]int32, len(sub.ToParentVertex))
-	for local, parent := range sub.ToParentVertex {
-		m[parent] = int32(local)
-	}
-	return m
+	return &BlockAPSP{Sub: sub, Ear: ea}, nil
 }
 
 func hashI32s(seed maphash.Seed, xs []int32) uint64 {

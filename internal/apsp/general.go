@@ -2,6 +2,7 @@ package apsp
 
 import (
 	"context"
+	"math"
 	"math/bits"
 
 	"repro/internal/bcc"
@@ -12,20 +13,24 @@ import (
 )
 
 // BlockAPSP is the per-biconnected-component state of the general
-// algorithm: the component subgraph, its ear-reduced APSP, and the local
-// IDs of the parent vertices it contains.
+// algorithm: the component subgraph and its ear-reduced APSP. Parent→local
+// vertex resolution goes through the oracle's shared flat locIndex
+// (layout.go) instead of a per-block hash map.
 type BlockAPSP struct {
 	Sub *graph.Subgraph
 	Ear *EarAPSP
-	// localOf maps parent vertex IDs to local IDs within Sub.
-	localOf map[int32]int32
+
+	bi  int32     // this block's ID in the oracle's Blocks slice
+	loc *locIndex // shared flat parent→local index
 }
+
+// local resolves a parent vertex ID to this block's local ID (-1 outside).
+func (b *BlockAPSP) local(v int32) int32 { return b.loc.local(b.bi, v) }
 
 // QueryParent answers an in-block distance query in parent vertex IDs.
 func (b *BlockAPSP) QueryParent(u, v int32) graph.Weight {
-	lu, ok1 := b.localOf[u]
-	lv, ok2 := b.localOf[v]
-	if !ok1 || !ok2 {
+	lu, lv := b.local(u), b.local(v)
+	if lu < 0 || lv < 0 {
 		return Inf
 	}
 	return b.Ear.Query(lu, lv)
@@ -45,20 +50,34 @@ type Oracle struct {
 	Blocks []*BlockAPSP
 
 	// A is the articulation-point table, a×a row-major over BCT.CutVertices
-	// indices. apGraph is the graph it was computed on (one vertex per AP,
-	// per-block clique edges), retained for path reconstruction;
-	// apEdgeBlock maps each of its edges to the contributing block.
+	// indices; in compact mode it lives in a32 instead (float32, +Inf for
+	// unreachable) and A is nil. apGraph is the graph it was computed on
+	// (one vertex per AP, per-block clique edges), retained for path
+	// reconstruction; apEdgeBlock maps each of its edges to the
+	// contributing block.
 	A           []graph.Weight
+	a32         []float32
 	numA        int
 	apGraph     *graph.Graph
 	apEdgeBlock []int32
+
+	// compact records that every distance table (A and each block's S^r)
+	// is stored as float32 — half the cache footprint, with the tolerance
+	// policy documented on Options.Compact32.
+	compact bool
+
+	// loc is the flat parent→local vertex index shared by every block.
+	loc *locIndex
 
 	// Bipartite block-cut forest navigation. Node IDs: blocks are
 	// [0, B), cut vertices are [B, B+a).
 	nodeParent []int32
 	nodeDepth  []int32
 	nodeRoot   []int32
-	up         [][]int32 // binary lifting ancestors
+	// up is the binary-lifting ancestor table, flattened row-major:
+	// up[k*numNodes+v] is v's 2^k-th ancestor (-1 past the root).
+	up       []int32
+	upLevels int
 
 	// Relaxations is the total shortest-path work of construction.
 	Relaxations int64
@@ -69,12 +88,41 @@ type Oracle struct {
 	BuildPhases *obs.Phases
 }
 
+// Options configures oracle construction beyond the graph itself.
+type Options struct {
+	// Workers is the parallelism of the per-block processing phase; < 1
+	// resolves to 1 (sequential).
+	Workers int
+	// Compact32 stores every distance table (the a×a AP table and each
+	// block's S^r) as float32 instead of float64, halving the oracle's
+	// dominant memory term a² + Σ nr_i². Distances are computed in float64
+	// and rounded once on store, so each table entry carries at most one
+	// float32 rounding (relative error ≤ 2⁻²⁴ ≈ 6e-8); a query combines at
+	// most three table entries plus exact chain prefixes, so query results
+	// stay within ~1e-6 relative error of the float64 oracle (the
+	// differential sweep in internal/check enforces 1e-5). Unreachable
+	// entries are stored as +Inf and read back as the exact Inf sentinel.
+	Compact32 bool
+}
+
 // NewOracle builds the oracle sequentially.
 func NewOracle(g *graph.Graph) *Oracle {
-	o, _ := newOracle(context.Background(), g, func(_ context.Context, sub *graph.Graph) (*EarAPSP, error) {
+	o, _ := newOracle(context.Background(), g, false, func(_ context.Context, sub *graph.Graph) (*EarAPSP, error) {
 		return NewEarAPSP(sub), nil
 	})
 	return o
+}
+
+// NewOracleOpts builds the oracle under ctx with explicit options; it is
+// the constructor behind the facade's APSPOptions.
+func NewOracleOpts(ctx context.Context, g *graph.Graph, opts Options) (*Oracle, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return newOracle(ctx, g, opts.Compact32, func(c context.Context, sub *graph.Graph) (*EarAPSP, error) {
+		return NewEarAPSPParallelCtx(c, sub, workers)
+	})
 }
 
 // NewOracleParallel builds the oracle with the per-block processing phase
@@ -93,18 +141,18 @@ func NewOracleParallel(g *graph.Graph, workers int) *Oracle {
 // returns a nil oracle and the context error; no build metrics are
 // recorded for abandoned builds. With a background context it never fails.
 func NewOracleParallelCtx(ctx context.Context, g *graph.Graph, workers int) (*Oracle, error) {
-	return newOracle(ctx, g, func(c context.Context, sub *graph.Graph) (*EarAPSP, error) {
+	return newOracle(ctx, g, false, func(c context.Context, sub *graph.Graph) (*EarAPSP, error) {
 		return NewEarAPSPParallelCtx(c, sub, workers)
 	})
 }
 
-func newOracle(ctx context.Context, g *graph.Graph, mk func(context.Context, *graph.Graph) (*EarAPSP, error)) (*Oracle, error) {
+func newOracle(ctx context.Context, g *graph.Graph, compact bool, mk func(context.Context, *graph.Graph) (*EarAPSP, error)) (*Oracle, error) {
 	phases := &obs.Phases{}
 	stop := phases.Start("bcc")
 	dec := bcc.Compute(g)
 	bct := bcc.BuildBlockCutTree(g, dec)
 	stop()
-	o := &Oracle{G: g, Dec: dec, BCT: bct, numA: len(bct.CutVertices), BuildPhases: phases}
+	o := &Oracle{G: g, Dec: dec, BCT: bct, numA: len(bct.CutVertices), compact: compact, BuildPhases: phases}
 	stop = phases.Start("blocks")
 	subs := dec.Subgraphs(g)
 	o.Blocks = make([]*BlockAPSP, len(subs))
@@ -112,18 +160,18 @@ func newOracle(ctx context.Context, g *graph.Graph, mk func(context.Context, *gr
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		blk := &BlockAPSP{Sub: sub, localOf: make(map[int32]int32, len(sub.ToParentVertex))}
-		for local, parent := range sub.ToParentVertex {
-			blk.localOf[parent] = int32(local)
-		}
 		ea, err := mk(ctx, sub.G)
 		if err != nil {
 			return nil, err
 		}
-		blk.Ear = ea
+		if compact {
+			ea.compress()
+		}
+		blk := &BlockAPSP{Sub: sub, Ear: ea}
 		o.Relaxations += blk.Ear.Relaxations
 		o.Blocks[i] = blk
 	}
+	o.buildLocIndex()
 	stop()
 	stop = phases.Start("forest")
 	o.buildForest()
@@ -188,33 +236,37 @@ func (o *Oracle) buildForest() {
 
 // buildLifting derives the binary-lifting ancestor table from nodeParent.
 // It is shared by construction and snapshot load: the table is a pure
-// function of the parent array, so snapshots store only the latter.
+// function of the parent array, so snapshots store only the latter. The
+// table is one flat row-major array (level k at up[k*n : (k+1)*n]) — a
+// single allocation the LCA walk strides through without pointer hops.
 func (o *Oracle) buildLifting() {
 	n := len(o.nodeParent)
 	levels := 1
 	if n > 1 {
 		levels = bits.Len(uint(n))
 	}
-	o.up = make([][]int32, levels)
-	o.up[0] = o.nodeParent
+	o.upLevels = levels
+	o.up = make([]int32, levels*n)
+	copy(o.up[:n], o.nodeParent)
 	for k := 1; k < levels; k++ {
-		o.up[k] = make([]int32, n)
+		prev, cur := o.up[(k-1)*n:k*n], o.up[k*n:(k+1)*n]
 		for v := 0; v < n; v++ {
-			p := o.up[k-1][v]
+			p := prev[v]
 			if p < 0 {
-				o.up[k][v] = -1
+				cur[v] = -1
 			} else {
-				o.up[k][v] = o.up[k-1][p]
+				cur[v] = prev[p]
 			}
 		}
 	}
 }
 
 func (o *Oracle) ancestorAtDepth(v int32, depth int32) int32 {
+	n := int32(len(o.nodeParent))
 	diff := o.nodeDepth[v] - depth
-	for k := 0; diff > 0; k++ {
+	for k := int32(0); diff > 0; k++ {
 		if diff&1 == 1 {
-			v = o.up[k][v]
+			v = o.up[k*n+v]
 		}
 		diff >>= 1
 	}
@@ -229,10 +281,11 @@ func (o *Oracle) lca(u, v int32) int32 {
 	if u == v {
 		return u
 	}
-	for k := len(o.up) - 1; k >= 0; k-- {
-		if o.up[k][u] != o.up[k][v] {
-			u = o.up[k][u]
-			v = o.up[k][v]
+	n := int32(len(o.nodeParent))
+	for k := int32(o.upLevels) - 1; k >= 0; k-- {
+		if o.up[k*n+u] != o.up[k*n+v] {
+			u = o.up[k*n+u]
+			v = o.up[k*n+v]
 		}
 	}
 	return o.nodeParent[u]
@@ -260,6 +313,9 @@ func (o *Oracle) buildAPTable() {
 	a := o.numA
 	o.A = make([]graph.Weight, a*a)
 	if a == 0 {
+		if o.compact {
+			o.a32, o.A = compressTable(o.A), nil
+		}
 		return
 	}
 	b := graph.NewBuilder(a)
@@ -282,10 +338,42 @@ func (o *Oracle) buildAPTable() {
 	for s := 0; s < a; s++ {
 		o.Relaxations += sssp.DistancesOnly(o.apGraph, int32(s), o.A[s*a:(s+1)*a], sc)
 	}
+	if o.compact {
+		o.a32 = compressTable(o.A)
+		o.A = nil
+	}
 }
 
-// apAt reads the AP table.
-func (o *Oracle) apAt(i, j int32) graph.Weight { return o.A[int(i)*o.numA+int(j)] }
+// compressTable converts a float64 distance table to the compact float32
+// form: finite entries round once, the Inf sentinel becomes +Inf (which
+// float32 represents exactly) so reads can restore it losslessly.
+func compressTable(t []graph.Weight) []float32 {
+	out := make([]float32, len(t))
+	for i, v := range t {
+		if v >= Inf {
+			out[i] = float32(math.Inf(1))
+		} else {
+			out[i] = float32(v)
+		}
+	}
+	return out
+}
+
+// apAt reads the AP table in either precision. Compact entries above
+// MaxFloat32 are the stored +Inf and read back as the exact Inf sentinel.
+func (o *Oracle) apAt(i, j int32) graph.Weight {
+	if o.a32 != nil {
+		v := o.a32[int(i)*o.numA+int(j)]
+		if v > math.MaxFloat32 {
+			return Inf
+		}
+		return graph.Weight(v)
+	}
+	return o.A[int(i)*o.numA+int(j)]
+}
+
+// Compact reports whether the oracle stores its tables as float32.
+func (o *Oracle) Compact() bool { return o.compact }
 
 // Query returns d_G(u, v) for arbitrary vertices. Out-of-range vertices
 // report Inf silently; new code should prefer QueryChecked, which surfaces
@@ -332,7 +420,7 @@ func (o *Oracle) queryAPRegular(ia int32, v int32) graph.Weight {
 	}
 	apVertex := o.BCT.CutVertices[ia]
 	blk := o.Blocks[bv]
-	if _, ok := blk.localOf[apVertex]; ok {
+	if blk.local(apVertex) >= 0 {
 		return blk.QueryParent(apVertex, v)
 	}
 	numB := int32(len(o.Blocks))

@@ -342,7 +342,7 @@ func (o *Oracle) regularToAPPath(v int32, ia int32) ([]int32, error) {
 	bv := o.BCT.BlockOf[v]
 	apVertex := o.BCT.CutVertices[ia]
 	blk := o.Blocks[bv]
-	if _, ok := blk.localOf[apVertex]; ok {
+	if blk.local(apVertex) >= 0 {
 		return o.blockPath(bv, v, apVertex)
 	}
 	a2 := o.gatewayCut(bv, int32(len(o.Blocks))+ia)
@@ -360,9 +360,8 @@ func (o *Oracle) regularToAPPath(v int32, ia int32) ([]int32, error) {
 // blockPath answers an in-block path in parent vertex IDs.
 func (o *Oracle) blockPath(bi int32, u, v int32) ([]int32, error) {
 	blk := o.Blocks[bi]
-	lu, ok1 := blk.localOf[u]
-	lv, ok2 := blk.localOf[v]
-	if !ok1 || !ok2 {
+	lu, lv := blk.local(u), blk.local(v)
+	if lu < 0 || lv < 0 {
 		return nil, ErrReconstruction
 	}
 	local, err := blk.Ear.keptOrAnyPath(lu, lv)

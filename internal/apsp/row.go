@@ -89,7 +89,7 @@ func (o *Oracle) rowFromAP(iu int32, out []graph.Weight) int64 {
 	ops := int64(a)
 	apNode := int32(len(o.Blocks)) + iu
 	for b, blk := range o.Blocks {
-		if _, ok := blk.localOf[u]; ok {
+		if blk.local(u) >= 0 {
 			// u lies on this block: in-block distances are exact.
 			for _, pv := range blk.Sub.ToParentVertex {
 				if o.BCT.CutIndex[pv] >= 0 {

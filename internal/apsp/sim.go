@@ -23,10 +23,7 @@ func NewOracleSim(g *graph.Graph, devices []*hetero.Device) (*Oracle, *hetero.Sc
 	o.Blocks = make([]*BlockAPSP, len(subs))
 	units := make([]hetero.Unit, len(subs))
 	for i, sub := range subs {
-		blk := &BlockAPSP{Sub: sub, localOf: make(map[int32]int32, len(sub.ToParentVertex))}
-		for local, parent := range sub.ToParentVertex {
-			blk.localOf[parent] = int32(local)
-		}
+		blk := &BlockAPSP{Sub: sub}
 		o.Blocks[i] = blk
 		// Unit size: the block's edge count, the paper's sorting key.
 		units[i] = hetero.Unit{ID: int32(i), Size: int64(sub.G.NumEdges())}
@@ -44,6 +41,7 @@ func NewOracleSim(g *graph.Graph, devices []*hetero.Device) (*Oracle, *hetero.Sc
 	for _, blk := range o.Blocks {
 		o.Relaxations += blk.Ear.Relaxations
 	}
+	o.buildLocIndex()
 	o.buildForest()
 	o.buildAPTable()
 	return o, sched

@@ -41,7 +41,25 @@ import (
 // independently of the container's own version. Bump it whenever a
 // section's byte layout changes; readers reject any other version with
 // snapshot.ErrVersionSkew rather than guessing.
-const oracleFormatVersion = 1
+//
+// v2 adds compact (float32) table support: meta gains a trailing flags
+// word, and the blocks/aptable sections tag every distance table with a
+// storage-kind word (0 = float64, 1 = float32). v1 snapshots are still
+// read — they simply carry no flags and always-float64 tables.
+const oracleFormatVersion = 2
+
+// oracleMinReadVersion is the oldest payload layout this build still
+// decodes.
+const oracleMinReadVersion = 1
+
+// Meta flag bits (v2+).
+const metaFlagCompact = 1 << 0
+
+// Table storage-kind tags (v2+ blocks/aptable sections).
+const (
+	tableKindF64 = 0
+	tableKindF32 = 1
+)
 
 // WriteTo serialises the oracle as a snapshot container, implementing
 // io.WriterTo. It records the time spent under obs.Default's "snapshot"
@@ -63,6 +81,11 @@ func (o *Oracle) writeSnapshot(w io.Writer, deltas []Delta, chainVersion uint32)
 	meta.U64(uint64(len(o.Blocks)))
 	meta.U64(uint64(o.numA))
 	meta.I64(o.Relaxations)
+	var flags uint32
+	if o.compact {
+		flags |= metaFlagCompact
+	}
+	meta.U32(flags)
 
 	o.G.EncodeSnapshot(sw.Section("graph"))
 
@@ -76,7 +99,13 @@ func (o *Oracle) writeSnapshot(w io.Writer, deltas []Delta, chainVersion uint32)
 	bl := sw.Section("blocks")
 	for _, blk := range o.Blocks {
 		blk.Ear.Red.EncodeSnapshot(bl)
-		bl.F64s(blk.Ear.SR)
+		if o.compact {
+			bl.U32(tableKindF32)
+			bl.F32s(blk.Ear.sr32)
+		} else {
+			bl.U32(tableKindF64)
+			bl.F64s(blk.Ear.SR)
+		}
 		bl.I64(blk.Ear.Relaxations)
 		bl.U64(uint64(blk.Ear.sweeps))
 	}
@@ -87,7 +116,13 @@ func (o *Oracle) writeSnapshot(w io.Writer, deltas []Delta, chainVersion uint32)
 	fe.I32s(o.nodeRoot)
 
 	ae := sw.Section("aptable")
-	ae.F64s(o.A)
+	if o.compact {
+		ae.U32(tableKindF32)
+		ae.F32s(o.a32)
+	} else {
+		ae.U32(tableKindF64)
+		ae.F64s(o.A)
+	}
 	if o.apGraph != nil {
 		ae.U32(1)
 		o.apGraph.EncodeSnapshot(ae)
@@ -135,16 +170,24 @@ func ReadOracle(r io.Reader) (o *Oracle, err error) {
 	if err != nil {
 		return nil, err
 	}
-	if v := md.U32(); md.Err() == nil && v != oracleFormatVersion {
-		return nil, fmt.Errorf("apsp: oracle snapshot format v%d, this build reads v%d: %w",
-			v, oracleFormatVersion, snapshot.ErrVersionSkew)
+	ver := md.U32()
+	if md.Err() == nil && (ver < oracleMinReadVersion || ver > oracleFormatVersion) {
+		return nil, fmt.Errorf("apsp: oracle snapshot format v%d, this build reads v%d–v%d: %w",
+			ver, oracleMinReadVersion, oracleFormatVersion, snapshot.ErrVersionSkew)
 	}
 	n := md.U64()
 	numBlocks := md.U64()
 	numA := md.U64()
 	relax := md.I64()
+	var flags uint32
+	if ver >= 2 {
+		flags = md.U32()
+	}
 	if err := md.Finish(); err != nil {
 		return nil, err
+	}
+	if flags&^uint32(metaFlagCompact) != 0 {
+		return nil, snapshot.Corruptf("apsp: unknown meta flags %#x", flags)
 	}
 
 	gd, err := sr.Section("graph")
@@ -175,17 +218,18 @@ func ReadOracle(r io.Reader) (o *Oracle, err error) {
 	}
 	o = &Oracle{
 		G: g, Dec: dec, BCT: bct, numA: int(numA),
+		compact:     flags&metaFlagCompact != 0,
 		Relaxations: relax,
 		BuildPhases: &obs.Phases{},
 	}
 
-	if err := o.decodeBlocks(sr); err != nil {
+	if err := o.decodeBlocks(sr, ver); err != nil {
 		return nil, err
 	}
 	if err := o.decodeForest(sr); err != nil {
 		return nil, err
 	}
-	if err := o.decodeAPTable(sr); err != nil {
+	if err := o.decodeAPTable(sr, ver); err != nil {
 		return nil, err
 	}
 	// A delta-chain snapshot replays its ordered records on top of the
@@ -251,8 +295,9 @@ func decodeDecomposition(sr *snapshot.Reader, g *graph.Graph, numBlocks uint64) 
 }
 
 // decodeBlocks reads each block's ear reduction and S^r table, rebuilding
-// the subgraphs from the already-validated edge partition.
-func (o *Oracle) decodeBlocks(sr *snapshot.Reader) error {
+// the subgraphs from the already-validated edge partition and the shared
+// flat vertex index at the end.
+func (o *Oracle) decodeBlocks(sr *snapshot.Reader, ver uint32) error {
 	bd, err := sr.Section("blocks")
 	if err != nil {
 		return err
@@ -265,28 +310,43 @@ func (o *Oracle) decodeBlocks(sr *snapshot.Reader) error {
 			return err
 		}
 		nr := red.R.NumVertices()
-		srTab := bd.F64s()
-		relax := bd.I64()
+		ea := &EarAPSP{G: sub.G, Red: red, nr: nr}
+		var srLen int
+		kind := uint32(tableKindF64)
+		if ver >= 2 {
+			kind = bd.U32()
+		}
+		switch kind {
+		case tableKindF64:
+			if o.compact {
+				return snapshot.Corruptf("apsp: block %d stores float64 in a compact snapshot", bi)
+			}
+			ea.SR = bd.F64s()
+			srLen = len(ea.SR)
+		case tableKindF32:
+			if !o.compact {
+				return snapshot.Corruptf("apsp: block %d stores float32 in a non-compact snapshot", bi)
+			}
+			ea.sr32 = bd.F32s()
+			srLen = len(ea.sr32)
+		default:
+			return snapshot.Corruptf("apsp: block %d has unknown table kind %d", bi, kind)
+		}
+		ea.Relaxations = bd.I64()
 		sweeps := bd.U64()
 		if err := bd.Err(); err != nil {
 			return err
 		}
-		if len(srTab) != nr*nr {
-			return snapshot.Corruptf("apsp: block %d has %d table entries for nr=%d", bi, len(srTab), nr)
+		if srLen != nr*nr {
+			return snapshot.Corruptf("apsp: block %d has %d table entries for nr=%d", bi, srLen, nr)
 		}
 		if sweeps > 1<<40 {
 			return snapshot.Corruptf("apsp: block %d sweep count %d", bi, sweeps)
 		}
-		blk := &BlockAPSP{
-			Sub:     sub,
-			Ear:     &EarAPSP{G: sub.G, Red: red, SR: srTab, nr: nr, Relaxations: relax, sweeps: int(sweeps)},
-			localOf: make(map[int32]int32, len(sub.ToParentVertex)),
-		}
-		for local, parent := range sub.ToParentVertex {
-			blk.localOf[parent] = int32(local)
-		}
-		o.Blocks[bi] = blk
+		ea.sweeps = int(sweeps)
+		o.Blocks[bi] = &BlockAPSP{Sub: sub, Ear: ea}
 	}
+	o.buildLocIndex()
 	return bd.Finish()
 }
 
@@ -332,18 +392,38 @@ func (o *Oracle) decodeForest(sr *snapshot.Reader) error {
 
 // decodeAPTable reads the articulation table, the AP graph, and the
 // edge→block map.
-func (o *Oracle) decodeAPTable(sr *snapshot.Reader) error {
+func (o *Oracle) decodeAPTable(sr *snapshot.Reader, ver uint32) error {
 	ad, err := sr.Section("aptable")
 	if err != nil {
 		return err
 	}
-	o.A = ad.F64s()
+	kind := uint32(tableKindF64)
+	if ver >= 2 {
+		kind = ad.U32()
+	}
+	var aLen int
+	switch kind {
+	case tableKindF64:
+		if o.compact {
+			return snapshot.Corruptf("apsp: float64 AP table in a compact snapshot")
+		}
+		o.A = ad.F64s()
+		aLen = len(o.A)
+	case tableKindF32:
+		if !o.compact {
+			return snapshot.Corruptf("apsp: float32 AP table in a non-compact snapshot")
+		}
+		o.a32 = ad.F32s()
+		aLen = len(o.a32)
+	default:
+		return snapshot.Corruptf("apsp: unknown AP table kind %d", kind)
+	}
 	has := ad.U32()
 	if err := ad.Err(); err != nil {
 		return err
 	}
-	if len(o.A) != o.numA*o.numA {
-		return snapshot.Corruptf("apsp: AP table has %d entries for a=%d", len(o.A), o.numA)
+	if aLen != o.numA*o.numA {
+		return snapshot.Corruptf("apsp: AP table has %d entries for a=%d", aLen, o.numA)
 	}
 	if (has == 1) != (o.numA > 0) {
 		return snapshot.Corruptf("apsp: AP graph flag %d with a=%d", has, o.numA)

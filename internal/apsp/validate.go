@@ -69,18 +69,32 @@ func (o *Oracle) CheckInvariants() error {
 				bi, blk.Ear.G.NumVertices(), blk.Sub.G.NumVertices())
 		}
 		nr := blk.Ear.Red.R.NumVertices()
-		if blk.Ear.nr != nr || len(blk.Ear.SR) != nr*nr {
-			return fmt.Errorf("apsp: block %d has %d S^r entries for nr=%d", bi, len(blk.Ear.SR), nr)
+		srLen := len(blk.Ear.SR)
+		if o.compact {
+			srLen = len(blk.Ear.sr32)
+			if blk.Ear.SR != nil {
+				return fmt.Errorf("apsp: block %d keeps a float64 S^r in compact mode", bi)
+			}
+		} else if blk.Ear.sr32 != nil {
+			return fmt.Errorf("apsp: block %d has a float32 S^r outside compact mode", bi)
 		}
-		if len(blk.localOf) != len(blk.Sub.ToParentVertex) {
-			return fmt.Errorf("apsp: block %d local index has %d entries for %d vertices",
-				bi, len(blk.localOf), len(blk.Sub.ToParentVertex))
+		if blk.Ear.nr != nr || srLen != nr*nr {
+			return fmt.Errorf("apsp: block %d has %d S^r entries for nr=%d", bi, srLen, nr)
+		}
+		if blk.loc != o.loc || blk.bi != int32(bi) {
+			return fmt.Errorf("apsp: block %d not stamped with the shared vertex index", bi)
 		}
 		for local, parent := range blk.Sub.ToParentVertex {
-			if got, ok := blk.localOf[parent]; !ok || got != int32(local) {
+			if got := blk.local(parent); got != int32(local) {
 				return fmt.Errorf("apsp: block %d local index disagrees at parent vertex %d", bi, parent)
 			}
 		}
+	}
+	if o.loc == nil {
+		return fmt.Errorf("apsp: vertex index missing")
+	}
+	if len(o.loc.home) != n {
+		return fmt.Errorf("apsp: vertex index sized %d for %d vertices", len(o.loc.home), n)
 	}
 
 	// Rooted forest invariants — exactly what lca/ancestorAtDepth rely on.
@@ -104,17 +118,27 @@ func (o *Oracle) CheckInvariants() error {
 			}
 		}
 	}
-	if len(o.up) == 0 || len(o.up[0]) != nn {
-		return fmt.Errorf("apsp: lifting table missing or mis-sized")
+	if o.upLevels == 0 || len(o.up) != o.upLevels*nn {
+		return fmt.Errorf("apsp: lifting table missing or mis-sized (%d entries for %d levels × %d nodes)",
+			len(o.up), o.upLevels, nn)
 	}
 
 	// AP table: a×a, zero diagonal, edge→block map in range.
-	if len(o.A) != o.numA*o.numA {
-		return fmt.Errorf("apsp: AP table has %d entries for a=%d", len(o.A), o.numA)
+	aLen := len(o.A)
+	if o.compact {
+		aLen = len(o.a32)
+		if o.A != nil {
+			return fmt.Errorf("apsp: float64 AP table present in compact mode")
+		}
+	} else if o.a32 != nil {
+		return fmt.Errorf("apsp: float32 AP table present outside compact mode")
+	}
+	if aLen != o.numA*o.numA {
+		return fmt.Errorf("apsp: AP table has %d entries for a=%d", aLen, o.numA)
 	}
 	for i := 0; i < o.numA; i++ {
-		if o.A[i*o.numA+i] != 0 {
-			return fmt.Errorf("apsp: AP table diagonal %d is %v", i, o.A[i*o.numA+i])
+		if o.apAt(int32(i), int32(i)) != 0 {
+			return fmt.Errorf("apsp: AP table diagonal %d is %v", i, o.apAt(int32(i), int32(i)))
 		}
 	}
 	if (o.apGraph != nil) != (o.numA > 0) {

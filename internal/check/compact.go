@@ -1,0 +1,58 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/apsp"
+	"repro/internal/graph"
+)
+
+// CompactTol is the relative tolerance the float32 table mode
+// (apsp.Options.Compact32) is held to per query. Every stored entry
+// carries exactly one float64→float32 rounding (relative error ≤ 2⁻²⁴ ≈
+// 6e-8) and a query combines at most a handful of entries, so ~1e-6 is the
+// analytical bound; 1e-5 leaves an order of magnitude of slack while still
+// catching any real defect (a wrong table entry, a lost Inf sentinel, a
+// mixed-precision code path). Unreachability is exempt from the tolerance:
+// Inf must round-trip exactly.
+const CompactTol = 1e-5
+
+// CompactAPSP builds g's oracle in both table modes and compares every
+// ordered pair: finite distances must agree within CompactTol relative
+// error, and infinite ones exactly. It returns a descriptive error on the
+// first divergence, nil when the sweep is clean.
+func CompactAPSP(g *graph.Graph) error {
+	full := apsp.NewOracle(g)
+	comp, err := apsp.NewOracleOpts(context.Background(), g, apsp.Options{Workers: 2, Compact32: true})
+	if err != nil {
+		return fmt.Errorf("check: compact build: %w", err)
+	}
+	if err := comp.CheckInvariants(); err != nil {
+		return fmt.Errorf("check: compact invariants: %w", err)
+	}
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			want := full.Query(int32(u), int32(v))
+			got := comp.Query(int32(u), int32(v))
+			if want >= apsp.Inf || got >= apsp.Inf {
+				if (want >= apsp.Inf) != (got >= apsp.Inf) {
+					return fmt.Errorf("check: compact d(%d,%d) = %v, float64 %v (Inf must be exact)",
+						u, v, got, want)
+				}
+				continue
+			}
+			scale := math.Abs(want)
+			if scale < 1 {
+				scale = 1
+			}
+			if math.Abs(got-want) > CompactTol*scale {
+				return fmt.Errorf("check: compact d(%d,%d) = %v, float64 %v (rel err %.3g > %g)",
+					u, v, got, want, math.Abs(got-want)/scale, CompactTol)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestCompactAPSPCorpus sweeps the fixed pathological topologies — the
+// parallel-edge and self-loop cases live in the corpus (multigraph,
+// theta-parallel, two-vertices-parallel, loop-flower).
+func TestCompactAPSPCorpus(t *testing.T) {
+	for _, ng := range Corpus() {
+		if err := CompactAPSP(ng.G); err != nil {
+			t.Errorf("%s: %v", ng.Name, err)
+		}
+	}
+}
+
+// TestCompactAPSPZeroWeight pins the zero-weight cases: zero-weight chain
+// edges collapse to zero-length reduced edges, zero-weight parallel edges
+// tie, and a zero-weight bridge joins two blocks at distance 0 — all
+// places where float32 rounding of a sum that should be exactly 0 (or
+// exactly equal to another path) could drift.
+func TestCompactAPSPZeroWeight(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"zero-cycle": graph.FromEdges(4, []graph.Edge{
+			{U: 0, V: 1, W: 0}, {U: 1, V: 2, W: 0}, {U: 2, V: 3, W: 0}, {U: 3, V: 0, W: 0},
+		}),
+		"zero-parallel": graph.FromEdges(2, []graph.Edge{
+			{U: 0, V: 1, W: 0}, {U: 0, V: 1, W: 3}, {U: 0, V: 1, W: 0},
+		}),
+		"zero-bridge": graph.FromEdges(6, []graph.Edge{
+			{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}, {U: 2, V: 0, W: 4},
+			{U: 2, V: 3, W: 0}, // bridge of weight 0
+			{U: 3, V: 4, W: 5}, {U: 4, V: 5, W: 6}, {U: 5, V: 3, W: 7},
+		}),
+		"zero-selfloop": graph.FromEdges(3, []graph.Edge{
+			{U: 0, V: 0, W: 0}, {U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 0, W: 3},
+		}),
+	}
+	for name, g := range graphs {
+		if err := CompactAPSP(g); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestCompactAPSPRandom sweeps the generator families (chains, pendants,
+// multigraphs, composed blocks) at small sizes.
+func TestCompactAPSPRandom(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		g := RandomGraph(seed, 24)
+		if err := CompactAPSP(g); err != nil {
+			t.Errorf("seed %d (n=%d m=%d): %v", seed, g.NumVertices(), g.NumEdges(), err)
+		}
+	}
+}

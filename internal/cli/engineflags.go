@@ -9,11 +9,11 @@ import (
 )
 
 // EngineFlags registers the query-engine tuning flags shared by serving
-// binaries (-cache-rows, -max-inflight, -queue-depth, -deadline) on the
-// default flag set and returns a function that resolves them into a
-// qe.Config after flag.Parse. Centralising them here keeps the flag
-// names, defaults, and help text identical across every daemon that
-// embeds the engine.
+// binaries (-cache-rows, -max-inflight, -queue-depth, -deadline,
+// -max-batch-pairs) on the default flag set and returns a function that
+// resolves them into a qe.Config after flag.Parse. Centralising them here
+// keeps the flag names, defaults, and help text identical across every
+// daemon that embeds the engine.
 func EngineFlags() func() qe.Config {
 	cacheRows := flag.Int("cache-rows", qe.DefaultCacheRows,
 		"distance rows kept in the LRU row cache (negative disables caching)")
@@ -23,12 +23,15 @@ func EngineFlags() func() qe.Config {
 		"admitted requests that may wait beyond max-inflight before load-shedding (0 sheds immediately)")
 	deadline := flag.Duration("deadline", 2*time.Second,
 		"per-request deadline covering queue wait and row computation (0 disables)")
+	maxBatchPairs := flag.Int64("max-batch-pairs", qe.DefaultMaxBatchPairs,
+		"largest sources×targets result matrix one batch may request (negative removes the cap)")
 	return func() qe.Config {
 		return qe.Config{
-			CacheRows:   *cacheRows,
-			MaxInflight: *maxInflight,
-			QueueDepth:  *queueDepth,
-			Deadline:    *deadline,
+			CacheRows:     *cacheRows,
+			MaxInflight:   *maxInflight,
+			QueueDepth:    *queueDepth,
+			Deadline:      *deadline,
+			MaxBatchPairs: *maxBatchPairs,
 		}
 	}
 }

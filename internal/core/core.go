@@ -42,13 +42,20 @@ func ShortestPaths(g *graph.Graph, workers int) (*apsp.Oracle, error) {
 // per-source Dijkstra units inside each, so a cancelled request or an
 // expired deadline abandons the build promptly with the context error.
 func ShortestPathsCtx(ctx context.Context, g *graph.Graph, workers int) (*apsp.Oracle, error) {
+	return ShortestPathsWith(ctx, g, apsp.Options{Workers: workers})
+}
+
+// ShortestPathsWith is ShortestPathsCtx with the full option set — worker
+// count plus the Compact32 float32-table mode (see apsp.Options for the
+// accuracy policy).
+func ShortestPathsWith(ctx context.Context, g *graph.Graph, opts apsp.Options) (*apsp.Oracle, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
-	if workers <= 0 {
-		workers = hetero.Workers()
+	if opts.Workers <= 0 {
+		opts.Workers = hetero.Workers()
 	}
-	return apsp.NewOracleParallelCtx(ctx, g, workers)
+	return apsp.NewOracleOpts(ctx, g, opts)
 }
 
 // MinimumCycleBasis computes a minimum weight cycle basis of g with the

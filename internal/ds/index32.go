@@ -1,0 +1,123 @@
+package ds
+
+// Index32 is a flat open-addressing hash map from non-negative int32 keys
+// to int32 values, built for hot paths that must not allocate at steady
+// state: the backing arrays are plain slices (struct-of-arrays, no
+// per-entry boxing), lookups are branch-light linear probes, and Reset
+// clears the map in O(1) by bumping a generation stamp instead of zeroing
+// memory — so a pooled Index32 can be reused across requests for free.
+//
+// The zero value is empty and usable; the table grows by doubling when
+// occupancy passes ¾. Index32 is not safe for concurrent use.
+type Index32 struct {
+	keys []int32
+	vals []int32
+	gen  []uint32 // slot is live iff gen[i] == cur
+	cur  uint32
+	n    int
+	mask uint32
+}
+
+// index32MinCap is the smallest table allocated on first insert.
+const index32MinCap = 16
+
+// Len returns the number of live entries.
+func (m *Index32) Len() int { return m.n }
+
+// Reset empties the map without releasing or clearing its backing arrays.
+func (m *Index32) Reset() {
+	m.cur++
+	m.n = 0
+	if m.cur == 0 { // generation wrapped: stamps are ambiguous, clear once
+		for i := range m.gen {
+			m.gen[i] = 0
+		}
+		m.cur = 1
+	}
+}
+
+// slot probes for key, returning the live slot holding it or, if absent,
+// the first free slot on its probe path.
+func (m *Index32) slot(key int32) (int, bool) {
+	// Fibonacci hashing: one multiply spreads consecutive keys well.
+	i := (uint32(key) * 2654435769) & m.mask
+	for {
+		if m.gen[i] != m.cur {
+			return int(i), false
+		}
+		if m.keys[i] == key {
+			return int(i), true
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Get returns the value for key and whether it is present.
+func (m *Index32) Get(key int32) (int32, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	i, ok := m.slot(key)
+	if !ok {
+		return 0, false
+	}
+	return m.vals[i], true
+}
+
+// Put inserts or overwrites key. Keys must be non-negative.
+func (m *Index32) Put(key, val int32) {
+	if len(m.keys) == 0 {
+		m.grow(index32MinCap)
+	} else if 4*(m.n+1) > 3*len(m.keys) {
+		m.grow(2 * len(m.keys))
+	}
+	i, live := m.slot(key)
+	m.keys[i] = key
+	m.vals[i] = val
+	m.gen[i] = m.cur
+	if !live {
+		m.n++
+	}
+}
+
+// GetOrPut returns the existing value for key, or inserts val and reports
+// that the key was absent — the one-probe idiom batch deduplication uses.
+func (m *Index32) GetOrPut(key, val int32) (int32, bool) {
+	if len(m.keys) == 0 || 4*(m.n+1) > 3*len(m.keys) {
+		// Delegate growth to Put; the retry probe after growing is cheap.
+		if v, ok := m.Get(key); ok {
+			return v, true
+		}
+		m.Put(key, val)
+		return val, false
+	}
+	i, live := m.slot(key)
+	if live {
+		return m.vals[i], true
+	}
+	m.keys[i] = key
+	m.vals[i] = val
+	m.gen[i] = m.cur
+	m.n++
+	return val, false
+}
+
+// grow rehashes into a table of the given power-of-two size.
+func (m *Index32) grow(size int) {
+	oldKeys, oldVals, oldGen, oldCur := m.keys, m.vals, m.gen, m.cur
+	m.keys = make([]int32, size)
+	m.vals = make([]int32, size)
+	m.gen = make([]uint32, size)
+	m.cur = 1
+	m.mask = uint32(size - 1)
+	m.n = 0
+	for i := range oldKeys {
+		if oldGen[i] == oldCur {
+			j, _ := m.slot(oldKeys[i])
+			m.keys[j] = oldKeys[i]
+			m.vals[j] = oldVals[i]
+			m.gen[j] = m.cur
+			m.n++
+		}
+	}
+}

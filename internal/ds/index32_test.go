@@ -1,0 +1,131 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIndex32Basic(t *testing.T) {
+	var m Index32
+	if _, ok := m.Get(3); ok {
+		t.Fatal("empty map reports a key")
+	}
+	m.Put(3, 30)
+	m.Put(7, 70)
+	if v, ok := m.Get(3); !ok || v != 30 {
+		t.Fatalf("Get(3) = %d,%v", v, ok)
+	}
+	m.Put(3, 31) // overwrite
+	if v, _ := m.Get(3); v != 31 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if v, existed := m.GetOrPut(3, 99); !existed || v != 31 {
+		t.Fatalf("GetOrPut existing = %d,%v", v, existed)
+	}
+	if v, existed := m.GetOrPut(11, 110); existed || v != 110 {
+		t.Fatalf("GetOrPut fresh = %d,%v", v, existed)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+}
+
+func TestIndex32ResetReuses(t *testing.T) {
+	var m Index32
+	for i := int32(0); i < 100; i++ {
+		m.Put(i, i*2)
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", m.Len())
+	}
+	for i := int32(0); i < 100; i++ {
+		if _, ok := m.Get(i); ok {
+			t.Fatalf("key %d survived Reset", i)
+		}
+	}
+	// Stale-generation slots must be freely overwritable.
+	m.Put(5, 50)
+	if v, ok := m.Get(5); !ok || v != 50 {
+		t.Fatalf("post-Reset Put lost: %d,%v", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestIndex32GenerationWrap(t *testing.T) {
+	var m Index32
+	m.Put(1, 10)
+	m.cur = ^uint32(0) // force the wrap path on the next Reset
+	m.Reset()
+	if _, ok := m.Get(1); ok {
+		t.Fatal("key visible across generation wrap")
+	}
+	m.Put(2, 20)
+	if v, ok := m.Get(2); !ok || v != 20 {
+		t.Fatalf("post-wrap Put lost: %d,%v", v, ok)
+	}
+}
+
+func TestIndex32AgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var m Index32
+	ref := map[int32]int32{}
+	for round := 0; round < 5; round++ {
+		for op := 0; op < 2000; op++ {
+			k := int32(rng.Intn(500))
+			switch rng.Intn(3) {
+			case 0:
+				v := int32(rng.Intn(1 << 20))
+				m.Put(k, v)
+				ref[k] = v
+			case 1:
+				v := int32(rng.Intn(1 << 20))
+				got, existed := m.GetOrPut(k, v)
+				want, refExisted := ref[k]
+				if existed != refExisted {
+					t.Fatalf("GetOrPut(%d) existed=%v want %v", k, existed, refExisted)
+				}
+				if existed && got != want {
+					t.Fatalf("GetOrPut(%d) = %d want %d", k, got, want)
+				}
+				if !existed {
+					ref[k] = v
+				}
+			default:
+				got, ok := m.Get(k)
+				want, refOK := ref[k]
+				if ok != refOK || (ok && got != want) {
+					t.Fatalf("Get(%d) = %d,%v want %d,%v", k, got, ok, want, refOK)
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+		}
+		m.Reset()
+		ref = map[int32]int32{}
+	}
+}
+
+// TestIndex32SteadyStateAllocs: once grown, Reset+Put cycles allocate
+// nothing — the property the pooled batch scratch relies on.
+func TestIndex32SteadyStateAllocs(t *testing.T) {
+	var m Index32
+	for i := int32(0); i < 64; i++ {
+		m.Put(i, i)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		m.Reset()
+		for i := int32(0); i < 64; i++ {
+			m.Put(i*3, i)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Reset+Put allocates %v/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,62 @@
+package qe
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// rowBuf is one distance row backed by the engine's buffer arena, plus the
+// reference count that decides when the backing array may be recycled.
+//
+// Ownership protocol (the whole arena discipline in four lines):
+//
+//   - the builder that pops a buffer from the arena fills it while holding
+//     the only pointer to it — no count needed yet;
+//   - on publication (under Engine.mu) the builder stores the exact
+//     reference total in one shot: itself, every coalesced waiter, and the
+//     cache if the row is being admitted;
+//   - the cache's reference is dropped by eviction, refresh, and removeIf;
+//     builder and waiters drop theirs after reading the values they need;
+//   - the reference that hits zero returns the buffer to the pool.
+//
+// Plain readers (cache-hit Query, Batch's gather) never touch the count:
+// they copy the values they need while holding the cache shard lock, so a
+// concurrent release cannot recycle the array under them.
+type rowBuf struct {
+	data []graph.Weight
+	refs atomic.Int32
+}
+
+// rowArena recycles row buffers through a sync.Pool so the steady-state
+// serving path performs no row-sized allocations: every build pops a
+// buffer, every eviction pushes one back.
+type rowArena struct {
+	pool sync.Pool
+}
+
+// get returns a buffer with data sized exactly n. The count is NOT set —
+// the builder publishes it explicitly once it knows how many holders exist.
+func (a *rowArena) get(n int) *rowBuf {
+	b, _ := a.pool.Get().(*rowBuf)
+	if b == nil {
+		b = &rowBuf{}
+	}
+	if cap(b.data) < n {
+		b.data = make([]graph.Weight, n)
+	}
+	b.data = b.data[:n]
+	return b
+}
+
+// release drops one reference; the final holder returns the buffer to the
+// pool. Safe for concurrent callers; nil is ignored.
+func (a *rowArena) release(b *rowBuf) {
+	if b == nil {
+		return
+	}
+	if b.refs.Add(-1) == 0 {
+		a.pool.Put(b)
+	}
+}

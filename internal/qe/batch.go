@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/ds"
 	"repro/internal/graph"
 	"repro/internal/hetero"
 )
@@ -17,18 +18,42 @@ const (
 	bigBatchRows = 8
 )
 
+// batchScratch is the pooled per-call working state of Batch: the dedup
+// index and the distinct/first/missing/unit slices. Pooling it keeps the
+// warm path's allocations down to the result matrix the caller receives
+// (out + flat); everything else is reused across calls.
+type batchScratch struct {
+	index    ds.Index32
+	distinct []int32 // distinct sources, first-seen order
+	first    []int32 // per distinct: index in sources of its first occurrence
+	missing  []int32 // distinct indices whose rows were not cached
+	units    []hetero.Unit
+}
+
+func (s *batchScratch) reset() {
+	s.index.Reset()
+	s.distinct = s.distinct[:0]
+	s.first = s.first[:0]
+	s.missing = s.missing[:0]
+	s.units = s.units[:0]
+}
+
 // Batch answers the many-to-many query set sources × targets: the result
 // is len(sources) rows of len(targets) distances, where result[i][j] =
 // d(sources[i], targets[j]) and unreachable pairs carry the Inf sentinel
 // (test with Unreachable).
 //
 // The whole batch is one admitted request (one admission slot, one
-// deadline). Rows are computed at most once per *distinct* source — and
-// not at all for cached rows — by scheduling each missing row as a
-// hetero.Unit on the double-ended work queue: a pool of workers drains
-// the small end row by row while a big-batch drainer claims the largest
-// rows in chunks. Concurrent point queries and other batches coalesce
-// onto the same builds through the engine's singleflight layer.
+// deadline); its result matrix is bounded by Config.MaxBatchPairs, and an
+// over-cap request fails with ErrBatchTooLarge before anything is
+// allocated. Cached rows are copied straight into the result under the
+// cache's shard locks; only the rows actually missing are computed — at
+// most once per distinct source — by scheduling each as a hetero.Unit on
+// the double-ended work queue: a pool of workers drains the small end row
+// by row while a big-batch drainer claims the largest rows in chunks.
+// Concurrent point queries and other batches coalesce onto the same
+// builds through the engine's singleflight layer. A batch whose rows are
+// all cached allocates only the matrix it returns.
 //
 // On deadline expiry mid-batch the remaining rows are skipped and the
 // context error is returned; no partial matrix is produced.
@@ -46,6 +71,14 @@ func (e *Engine) Batch(ctx context.Context, sources, targets []int32) ([][]graph
 			return nil, err
 		}
 	}
+	// The pair cap guards the result-matrix allocation below; check it
+	// before admission so an oversized request cannot occupy a slot. The
+	// division form cannot overflow, unlike the product.
+	if e.maxPairs >= 0 && len(sources) > 0 && len(targets) > 0 &&
+		int64(len(sources)) > e.maxPairs/int64(len(targets)) {
+		return nil, fmt.Errorf("qe: batch %d×%d exceeds %d pairs: %w",
+			len(sources), len(targets), e.maxPairs, ErrBatchTooLarge)
+	}
 	ctx, cancel := e.withDeadline(ctx)
 	defer cancel()
 	if err := e.adm.acquire(ctx); err != nil {
@@ -53,61 +86,87 @@ func (e *Engine) Batch(ctx context.Context, sources, targets []int32) ([][]graph
 	}
 	defer e.adm.release()
 
-	// Distinct sources, preserving first-seen order; Unit.ID indexes this
-	// slice so results land in a race-free preallocated table.
-	distinct := make([]int32, 0, len(sources))
-	index := make(map[int32]int32, len(sources))
-	for _, u := range sources {
-		if _, ok := index[u]; !ok {
-			index[u] = int32(len(distinct))
-			distinct = append(distinct, u)
+	sc := e.scratch.Get().(*batchScratch)
+	sc.reset()
+	defer e.scratch.Put(sc)
+
+	// Distinct sources, preserving first-seen order; each distinct source
+	// owns the flat-matrix row of its first occurrence, so the build and
+	// gather stages write disjoint memory with no further coordination.
+	for i, u := range sources {
+		if _, seen := sc.index.GetOrPut(u, int32(len(sc.distinct))); !seen {
+			sc.distinct = append(sc.distinct, u)
+			sc.first = append(sc.first, int32(i))
 		}
 	}
-	e.batchSources.Add(int64(len(distinct)))
+	e.batchSources.Add(int64(len(sc.distinct)))
 	e.batchPairs.Add(int64(len(sources)) * int64(len(targets)))
 
-	rows := make([][]graph.Weight, len(distinct))
-	units := make([]hetero.Unit, len(distinct))
-	sizer, hasSizer := rs.(Sizer)
-	for i, u := range distinct {
-		size := int64(n)
-		if hasSizer {
-			size = sizer.RowCost(u)
-		}
-		units[i] = hetero.Unit{ID: int32(i), Size: size}
-	}
-	workers := e.workers
-	if workers > len(units) {
-		workers = len(units)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	exec := func(u hetero.Unit) {
-		if ctx.Err() != nil {
-			return // deadline passed: skip remaining rows
-		}
-		rows[u.ID] = e.getRow(distinct[u.ID])
-	}
-	hetero.HybridRun(units, workers, cpuBatchRows, bigBatchRows, exec, exec)
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("qe: batch abandoned: %w", err)
-	}
-
+	nt := len(targets)
 	out := make([][]graph.Weight, len(sources))
-	flat := make([]graph.Weight, len(sources)*len(targets))
-	for i, u := range sources {
-		row := rows[index[u]]
-		dst := flat[i*len(targets) : (i+1)*len(targets)]
-		for j, v := range targets {
-			// A row served from an older epoch can be shorter than the
-			// validated target range (see Query); out-of-range means
-			// unreachable in that row's view of the graph.
-			if int(v) >= len(row) {
-				dst[j] = inf
+	flat := make([]graph.Weight, len(sources)*nt)
+
+	if nt > 0 {
+		// Warm pass: copy every cached row into its first-occurrence slot
+		// under the cache's shard lock; collect the rest as misses.
+		for di, u := range sc.distinct {
+			dst := flat[int(sc.first[di])*nt : (int(sc.first[di])+1)*nt]
+			if e.cache != nil && e.cache.gather(u, targets, dst) {
 				continue
 			}
-			dst[j] = row[v]
+			sc.missing = append(sc.missing, int32(di))
+		}
+	}
+
+	if len(sc.missing) > 0 {
+		sizer, hasSizer := rs.(Sizer)
+		for _, di := range sc.missing {
+			size := int64(n)
+			if hasSizer {
+				size = sizer.RowCost(sc.distinct[di])
+			}
+			sc.units = append(sc.units, hetero.Unit{ID: di, Size: size})
+		}
+		workers := e.workers
+		if workers > len(sc.units) {
+			workers = len(sc.units)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		exec := func(unit hetero.Unit) {
+			if ctx.Err() != nil {
+				return // deadline passed: skip remaining rows
+			}
+			di := int(unit.ID)
+			buf := e.rowRef(sc.distinct[di])
+			dst := flat[int(sc.first[di])*nt : (int(sc.first[di])+1)*nt]
+			row := buf.data
+			for j, v := range targets {
+				// A row served from an older epoch can be shorter than the
+				// validated target range (see Query); out-of-range means
+				// unreachable in that row's view of the graph.
+				if int(v) < len(row) {
+					dst[j] = row[v]
+				} else {
+					dst[j] = inf
+				}
+			}
+			e.arena.release(buf)
+		}
+		hetero.HybridRun(sc.units, workers, cpuBatchRows, bigBatchRows, exec, exec)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("qe: batch abandoned: %w", err)
+		}
+	}
+
+	// Assembly: duplicate sources copy their distinct row's slot; every
+	// result row is a view into flat.
+	for i, u := range sources {
+		dst := flat[i*nt : (i+1)*nt]
+		di, _ := sc.index.Get(u)
+		if fi := int(sc.first[di]); fi != i {
+			copy(dst, flat[fi*nt:(fi+1)*nt])
 		}
 		out[i] = dst
 	}

@@ -16,9 +16,18 @@ import (
 // The total bound is Σ per-shard capacities = ceil(capacity/shards) per
 // shard, so occupancy never exceeds capacity rounded up to a multiple of
 // the shard count.
+//
+// Entries hold arena-backed rowBufs and the cache owns one reference to
+// each: put takes ownership of the caller's pre-counted cache reference,
+// and eviction, refresh, and removeIf release it. Readers (getAt, gather)
+// copy the values they need while still holding the shard lock — the
+// cache's reference keeps the buffer alive for exactly as long as the
+// entry exists, so a reader inside the lock can never observe a recycled
+// buffer. Rows never leave the cache by pointer.
 type rowCache struct {
 	shards []cacheShard
 	mask   uint32
+	arena  *rowArena
 
 	hits      *obs.Counter
 	misses    *obs.Counter
@@ -35,10 +44,10 @@ type cacheShard struct {
 
 type cacheEntry struct {
 	src int32
-	row []graph.Weight
+	buf *rowBuf
 }
 
-func newRowCache(capacity int, reg *obs.Registry) *rowCache {
+func newRowCache(capacity int, reg *obs.Registry, arena *rowArena) *rowCache {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -50,6 +59,7 @@ func newRowCache(capacity int, reg *obs.Registry) *rowCache {
 	c := &rowCache{
 		shards: make([]cacheShard, shards),
 		mask:   uint32(shards - 1),
+		arena:  arena,
 
 		hits:      reg.Counter("qe.cache.hits"),
 		misses:    reg.Counter("qe.cache.misses"),
@@ -69,43 +79,86 @@ func (c *rowCache) shard(src int32) *cacheShard {
 	return &c.shards[(uint32(src)*2654435769>>16)&c.mask]
 }
 
-// get returns the cached row for src, promoting it to most-recent.
-func (c *rowCache) get(src int32) ([]graph.Weight, bool) {
+// getAt reads one entry of the cached row for src, promoting the row to
+// most-recent. The read happens under the shard lock, so a concurrent
+// put refreshing the entry (or an eviction recycling the buffer) cannot
+// race it. A target beyond the row's length reads as unreachable: the row
+// may predate a SwapSource that grew the graph, and in that older view
+// the vertex did not exist.
+func (c *rowCache) getAt(src, v int32) (graph.Weight, bool) {
 	s := c.shard(src)
 	s.mu.Lock()
 	el, ok := s.m[src]
-	if ok {
-		s.ll.MoveToFront(el)
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Inc()
+		return inf, false
+	}
+	s.ll.MoveToFront(el)
+	d := inf
+	if row := el.Value.(*cacheEntry).buf.data; int(v) < len(row) {
+		d = row[v]
 	}
 	s.mu.Unlock()
-	if !ok {
-		c.misses.Inc()
-		return nil, false
-	}
 	c.hits.Inc()
-	return el.Value.(*cacheEntry).row, true
+	return d, true
+}
+
+// gather copies row[targets[j]] into dst[j] for the cached row of src,
+// promoting it. Like getAt, the copy runs under the shard lock and
+// out-of-range targets yield inf. It reports false (dst untouched) on a
+// cache miss. len(dst) must equal len(targets).
+func (c *rowCache) gather(src int32, targets []int32, dst []graph.Weight) bool {
+	s := c.shard(src)
+	s.mu.Lock()
+	el, ok := s.m[src]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Inc()
+		return false
+	}
+	s.ll.MoveToFront(el)
+	row := el.Value.(*cacheEntry).buf.data
+	for j, v := range targets {
+		if int(v) < len(row) {
+			dst[j] = row[v]
+		} else {
+			dst[j] = inf
+		}
+	}
+	s.mu.Unlock()
+	c.hits.Inc()
+	return true
 }
 
 // put inserts (or refreshes) the row for src, evicting the shard's
-// least-recent entry when over capacity.
-func (c *rowCache) put(src int32, row []graph.Weight) {
+// least-recent entry when over capacity. The caller must have counted the
+// cache's reference on buf before calling; put takes ownership of it and
+// releases the reference of any buffer it displaces.
+func (c *rowCache) put(src int32, buf *rowBuf) {
 	s := c.shard(src)
+	var displaced *rowBuf
 	var evicted, inserted bool
 	s.mu.Lock()
 	if el, ok := s.m[src]; ok {
-		el.Value.(*cacheEntry).row = row
+		ent := el.Value.(*cacheEntry)
+		displaced = ent.buf
+		ent.buf = buf
 		s.ll.MoveToFront(el)
 	} else {
-		s.m[src] = s.ll.PushFront(&cacheEntry{src: src, row: row})
+		s.m[src] = s.ll.PushFront(&cacheEntry{src: src, buf: buf})
 		inserted = true
 		if s.ll.Len() > s.cap {
 			back := s.ll.Back()
 			s.ll.Remove(back)
-			delete(s.m, back.Value.(*cacheEntry).src)
+			ent := back.Value.(*cacheEntry)
+			delete(s.m, ent.src)
+			displaced = ent.buf
 			evicted = true
 		}
 	}
 	s.mu.Unlock()
+	c.arena.release(displaced)
 	if inserted && !evicted {
 		c.occupancy.Inc()
 	}
@@ -116,11 +169,13 @@ func (c *rowCache) put(src int32, row []graph.Weight) {
 
 // removeIf drops every entry whose source satisfies pred, returning the
 // number removed. Removals count as evictions and release occupancy, so
-// the gauges stay truthful across invalidation sweeps.
+// the gauges stay truthful across invalidation sweeps. Each removed
+// entry's buffer reference is released back to the arena.
 func (c *rowCache) removeIf(pred func(src int32) bool) int {
 	removed := 0
 	for i := range c.shards {
 		s := &c.shards[i]
+		var drop []*rowBuf
 		s.mu.Lock()
 		el := s.ll.Front()
 		for el != nil {
@@ -128,11 +183,15 @@ func (c *rowCache) removeIf(pred func(src int32) bool) int {
 			if ent := el.Value.(*cacheEntry); pred(ent.src) {
 				s.ll.Remove(el)
 				delete(s.m, ent.src)
+				drop = append(drop, ent.buf)
 				removed++
 			}
 			el = next
 		}
 		s.mu.Unlock()
+		for _, b := range drop {
+			c.arena.release(b)
+		}
 	}
 	if removed > 0 {
 		c.evictions.Add(int64(removed))

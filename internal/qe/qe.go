@@ -12,6 +12,10 @@
 //     it;
 //   - caching: completed rows live in a sharded, size-bounded LRU with
 //     hit/miss/eviction counters and an occupancy gauge in internal/obs;
+//   - buffer arena: rows are arena-backed and reference-counted, so the
+//     steady-state hot path — a cache-hit Query, or a Batch whose rows
+//     are all cached — allocates nothing beyond the caller's result
+//     matrix (pinned by AllocsPerRun tests and the CI bench gate);
 //   - admission control: at most MaxInflight requests are served
 //     concurrently, at most QueueDepth more may wait (with per-request
 //     deadlines), and everything beyond that is shed with the typed
@@ -19,7 +23,9 @@
 //   - bulk queries: Batch answers an N×M many-to-many matrix with one row
 //     computation per distinct source, scheduled as hetero.Units through
 //     the paper's double-ended work queue so the largest rows go to the
-//     big-batch executor first (Section 2.3's discipline).
+//     big-batch executor first (Section 2.3's discipline). Requests whose
+//     result matrix would exceed MaxBatchPairs are rejected with the
+//     typed ErrBatchTooLarge before anything is allocated.
 //
 // Engines are safe for concurrent use; every exported method is
 // panic-free on arbitrary input.
@@ -61,6 +67,10 @@ var (
 	ErrOverloaded = errors.New("qe: overloaded, admission queue full")
 	// ErrVertexRange reports a source or target outside [0, n).
 	ErrVertexRange = errors.New("qe: vertex out of range")
+	// ErrBatchTooLarge reports a Batch whose |sources|×|targets| result
+	// matrix exceeds the engine's MaxBatchPairs cap. The request is
+	// rejected before any allocation.
+	ErrBatchTooLarge = errors.New("qe: batch result matrix over pair cap")
 )
 
 // Config tunes an Engine. The zero value is usable: see the field
@@ -79,6 +89,11 @@ type Config struct {
 	// Deadline bounds each request that arrives without its own context
 	// deadline; ≤ 0 means no engine-imposed deadline.
 	Deadline time.Duration
+	// MaxBatchPairs bounds |sources|×|targets| for one Batch call; larger
+	// requests fail with ErrBatchTooLarge before allocating the result
+	// matrix. 0 resolves to DefaultMaxBatchPairs; negative removes the
+	// cap.
+	MaxBatchPairs int64
 	// Reg receives the engine's metrics under "qe.*"; nil resolves to
 	// obs.Default.
 	Reg *obs.Registry
@@ -87,17 +102,24 @@ type Config struct {
 // DefaultCacheRows is the row-cache bound when Config.CacheRows is 0.
 const DefaultCacheRows = 4096
 
+// DefaultMaxBatchPairs is the Batch pair cap when Config.MaxBatchPairs is
+// 0: one million pairs ≈ an 8 MB float64 result matrix.
+const DefaultMaxBatchPairs = 1 << 20
+
 // Engine answers point and bulk distance queries over one RowSource.
 type Engine struct {
 	cache    *rowCache // nil when caching is disabled
+	arena    rowArena
 	adm      *admission
 	deadline time.Duration
 	workers  int
+	maxPairs int64
+	scratch  sync.Pool // *batchScratch
 
 	// mu guards the live source, its vertex count, the swap epoch, and
 	// the in-flight map. src/n change only through SwapSource; epoch
 	// increments on every swap so a row built against a replaced source
-	// is never admitted to the cache (see getRow and SwapSource).
+	// is never admitted to the cache (see rowRef and SwapSource).
 	mu     sync.Mutex
 	src    RowSource
 	n      int
@@ -113,9 +135,13 @@ type Engine struct {
 }
 
 // rowCall is one in-flight row computation other requests coalesce onto.
+// waiters is maintained under Engine.mu; the builder folds it into the
+// buffer's reference count before publishing buf and closing done, so
+// every waiter wakes holding exactly one reference it must release.
 type rowCall struct {
-	done chan struct{}
-	row  []graph.Weight
+	done    chan struct{}
+	waiters int32
+	buf     *rowBuf
 }
 
 // New builds an engine over src. Metrics register immediately so they are
@@ -133,12 +159,17 @@ func New(src RowSource, cfg Config) *Engine {
 	if queue < 0 {
 		queue = 0
 	}
+	maxPairs := cfg.MaxBatchPairs
+	if maxPairs == 0 {
+		maxPairs = DefaultMaxBatchPairs
+	}
 	e := &Engine{
 		src:      src,
 		n:        src.NumVertices(),
 		adm:      newAdmission(workers, queue, reg),
 		deadline: cfg.Deadline,
 		workers:  workers,
+		maxPairs: maxPairs,
 		flight:   make(map[int32]*rowCall),
 
 		builds:       reg.Counter("qe.rows.built"),
@@ -148,12 +179,13 @@ func New(src RowSource, cfg Config) *Engine {
 		batchSources: reg.Counter("qe.batch.sources"),
 		batchPairs:   reg.Counter("qe.batch.pairs"),
 	}
+	e.scratch.New = func() any { return new(batchScratch) }
 	rows := cfg.CacheRows
 	if rows == 0 {
 		rows = DefaultCacheRows
 	}
 	if rows > 0 {
-		e.cache = newRowCache(rows, reg)
+		e.cache = newRowCache(rows, reg, &e.arena)
 	}
 	return e
 }
@@ -190,50 +222,65 @@ func (e *Engine) withDeadline(ctx context.Context) (context.Context, context.Can
 // cached (or coalesced, or freshly built) row for u, then one read. The
 // error is ErrOverloaded, a context error from waiting for admission, or
 // ErrVertexRange; unreachable pairs report apsp Inf, not an error.
+//
+// The cache-hit path allocates nothing: the entry is read in place under
+// the shard lock, no row escapes, no buffer changes hands. Admission is
+// never bypassed — a hit still occupies an inflight slot, so overload
+// shedding stays accurate under a hot cache.
 func (e *Engine) Query(ctx context.Context, u, v int32) (graph.Weight, error) {
 	n := e.NumVertices()
 	if err := e.checkVertex("source", u, n); err != nil {
-		return graph.Weight(inf), err
+		return inf, err
 	}
 	if err := e.checkVertex("target", v, n); err != nil {
-		return graph.Weight(inf), err
+		return inf, err
 	}
 	ctx, cancel := e.withDeadline(ctx)
 	defer cancel()
 	if err := e.adm.acquire(ctx); err != nil {
-		return graph.Weight(inf), err
+		return inf, err
 	}
 	defer e.adm.release()
-	row := e.getRow(u)
-	// A coalesced or cached row may predate a SwapSource that grew the
-	// graph; targets beyond its length are unreachable in that older view.
-	if int(v) >= len(row) {
-		return graph.Weight(inf), nil
+	if e.cache != nil {
+		if d, ok := e.cache.getAt(u, v); ok {
+			return d, nil
+		}
 	}
-	return row[v], nil
+	buf := e.rowRef(u)
+	d := inf
+	// A coalesced row may predate a SwapSource that grew the graph;
+	// targets beyond its length are unreachable in that older view.
+	if int(v) < len(buf.data) {
+		d = buf.data[v]
+	}
+	e.arena.release(buf)
+	return d, nil
 }
 
-// getRow returns the distance row for src: cache hit, coalesced wait, or
-// a fresh build on the calling goroutine. Callers must have validated src.
-// Returned rows are shared and read-only.
+// rowRef returns a referenced buffer holding the distance row for src,
+// coalescing with any in-flight build. The caller owns exactly one
+// reference and must release it after reading. Callers must have
+// validated src; rowRef does not consult the cache (Query and Batch check
+// it first so hits never touch the flight map).
 //
 // Every row is built against exactly one source: the build captures
 // (src, n, epoch) in one critical section, and the finished row enters
 // the cache only if the epoch is still current when it completes. A build
 // racing a SwapSource therefore yields a row that is fully old — served
 // to its waiters, never cached — or fully new; never a mix.
-func (e *Engine) getRow(src int32) []graph.Weight {
-	if e.cache != nil {
-		if row, ok := e.cache.get(src); ok {
-			return row
-		}
-	}
+//
+// Reference accounting: the builder publishes the total in one store —
+// one for itself, one per coalesced waiter, one for the cache when the
+// row is admitted — before closing done, so no holder can release a
+// count that has not been taken yet.
+func (e *Engine) rowRef(src int32) *rowBuf {
 	e.mu.Lock()
 	if c, ok := e.flight[src]; ok {
+		c.waiters++
 		e.mu.Unlock()
 		e.coalesced.Inc()
 		<-c.done
-		return c.row
+		return c.buf
 	}
 	c := &rowCall{done: make(chan struct{})}
 	e.flight[src] = c
@@ -241,23 +288,29 @@ func (e *Engine) getRow(src int32) []graph.Weight {
 	e.mu.Unlock()
 
 	t0 := time.Now()
-	row := make([]graph.Weight, n)
-	ops := rs.Row(src, row)
+	buf := e.arena.get(n)
+	ops := rs.Row(src, buf.data)
 	e.builds.Inc()
 	e.buildOps.Add(ops)
 	e.buildLat.Observe(time.Since(t0))
-	c.row = row
 	// The epoch re-check and the cache insert share the critical section
 	// with SwapSource's epoch bump, so a stale row either lands before the
 	// swap (and the swap's eviction pass removes it) or is never cached.
 	e.mu.Lock()
 	delete(e.flight, src)
-	if e.cache != nil && e.epoch == epoch {
-		e.cache.put(src, row)
+	refs := 1 + c.waiters
+	cached := e.cache != nil && e.epoch == epoch
+	if cached {
+		refs++
+	}
+	buf.refs.Store(refs)
+	c.buf = buf
+	if cached {
+		e.cache.put(src, buf)
 	}
 	e.mu.Unlock()
 	close(c.done)
-	return row
+	return buf
 }
 
 // inf mirrors apsp.Inf / sssp.Inf without importing either package; qe

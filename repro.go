@@ -106,6 +106,14 @@ type APSPOptions struct {
 	// Workers is the parallelism of the per-block processing phase
 	// (0 = GOMAXPROCS).
 	Workers int
+	// Compact32 stores the oracle's distance tables (per-block S^r and the
+	// articulation table) as float32, halving table memory. Distances are
+	// still computed in float64 and rounded once, so each stored entry
+	// carries at most one float32 rounding (relative error ≤ 2⁻²⁴) and a
+	// query that sums a few table entries stays within ~1e-6 relative
+	// error; unreachability (infinite distance) is preserved exactly.
+	// Snapshots of compact oracles record the mode and restore it.
+	Compact32 bool
 }
 
 // ShortestPathsOpts builds the APSP oracle with explicit options. It is a
@@ -121,7 +129,7 @@ func ShortestPathsOpts(g *Graph, opts APSPOptions) (*APSPOracle, error) {
 // Dijkstra units inside each, so cancelling the context or hitting its
 // deadline abandons the build promptly and returns the context error.
 func ShortestPathsCtx(ctx context.Context, g *Graph, opts APSPOptions) (*APSPOracle, error) {
-	return core.ShortestPathsCtx(ctx, g, opts.Workers)
+	return core.ShortestPathsWith(ctx, g, apsp.Options{Workers: opts.Workers, Compact32: opts.Compact32})
 }
 
 // ShortestPaths builds the APSP oracle with the given parallelism
