@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"repro/internal/apsp"
+	"repro/internal/registry"
 )
 
 // maxDeltasBody and maxDeltasPerRequest bound one /v1/deltas request.
@@ -69,8 +70,9 @@ func (rec *deltaRecord) decode(i int) (apsp.Delta, error) {
 	return apsp.Delta{}, fmt.Errorf("delta %d: unknown op %q (want weight, insert, or delete)", i, rec.Op)
 }
 
-// deltas is POST /v1/deltas: apply an ordered edge/weight delta script to
-// the live oracle and swap the result in without dropping a request.
+// deltas is POST /v1/deltas (or /v1/graphs/{name}/deltas): apply an
+// ordered edge/weight delta script to one live graph and swap the result
+// in without dropping a request.
 //
 //	POST /v1/deltas  {"deltas":[{"op":"weight","edge":0,"weight":5},
 //	                            {"op":"insert","u":0,"v":9,"weight":1},
@@ -82,9 +84,13 @@ func (rec *deltaRecord) decode(i int) (apsp.Delta, error) {
 // means no change was applied. Concurrent /v1/distance (or /path, /batch)
 // requests keep answering throughout: each sees either the pre-delta or
 // the post-delta oracle, never a mix. A loaded cycle basis describes the
-// pre-delta graph, so a successful apply invalidates it ("mcb" flips to
-// false in /healthz and /v1/mcb/cycle answers 503).
-func (s *server) deltas(r *http.Request) (interface{}, error) {
+// pre-delta default graph, so a successful apply against the default
+// graph invalidates it ("mcb" flips to false in /healthz and
+// /v1/mcb/cycle answers 503); chain persistence likewise records only
+// the default graph's history. Named graphs mutate in memory only — the
+// snapshot file keeps the base state, so an evict/rehydrate cycle resets
+// them to it.
+func (s *server) deltas(e *registry.Entry, r *http.Request) (interface{}, error) {
 	if r.Method != http.MethodPost {
 		return nil, &httpError{http.StatusMethodNotAllowed, fmt.Errorf("POST a JSON body to /v1/deltas")}
 	}
@@ -108,13 +114,13 @@ func (s *server) deltas(r *http.Request) (interface{}, error) {
 		}
 	}
 
-	// One applier at a time: positional edge IDs make the application order
-	// part of the script's meaning.
+	// One applier at a time, across all graphs: positional edge IDs make
+	// the application order part of the script's meaning, and a single
+	// total order keeps the chain file's replay semantics trivial.
 	s.deltaMu.Lock()
 	defer s.deltaMu.Unlock()
 
-	_, cur, _ := s.state()
-	next, res, err := cur.ApplyDelta(r.Context(), ds)
+	next, res, err := e.Oracle().ApplyDelta(r.Context(), ds)
 	if err != nil {
 		if errors.Is(err, apsp.ErrBadDelta) {
 			return nil, err // 400 bad_request, nothing applied
@@ -122,16 +128,19 @@ func (s *server) deltas(r *http.Request) (interface{}, error) {
 		return nil, &httpError{http.StatusInternalServerError, err}
 	}
 
-	// Swap order matters: the engine first (stale cached rows evicted, new
-	// rows built from the new oracle), then the served pointers. A request
-	// racing the swap gets a consistent answer from one side or the other.
-	evicted := s.engine.SwapSource(next, res.Stale)
-	s.mu.Lock()
-	mcbInvalidated := s.basis != nil
-	s.g = next.G
-	s.oracle = next
-	s.basis = nil
-	s.mu.Unlock()
+	// Swap order matters (inside Swap): the engine's source first — stale
+	// cached rows evicted, new rows built from the new oracle — then the
+	// entry's served pointers. A request racing the swap gets a consistent
+	// answer from one side or the other.
+	evicted := e.Swap(next, res.Stale)
+	isDefault := e.Name() == registry.DefaultGraph
+	var mcbInvalidated bool
+	if isDefault {
+		s.mu.Lock()
+		mcbInvalidated = s.basis != nil
+		s.basis = nil
+		s.mu.Unlock()
+	}
 
 	resp := deltasResponse{
 		Applied:         len(ds),
@@ -143,7 +152,7 @@ func (s *server) deltas(r *http.Request) (interface{}, error) {
 		Edges:           next.G.NumEdges(),
 		MCBInvalidated:  mcbInvalidated,
 	}
-	if s.chainPath != "" {
+	if s.chainPath != "" && isDefault {
 		s.chainDeltas = append(s.chainDeltas, ds...)
 		if err := writeChainSnapshot(s.chainPath, s.chainBase, s.chainDeltas); err != nil {
 			// The oracle already swapped — the serve side is consistent —

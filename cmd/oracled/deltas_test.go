@@ -234,7 +234,7 @@ func TestDeltasUnderConcurrentTraffic(t *testing.T) {
 func TestDeltaChainPersistence(t *testing.T) {
 	s, g, _ := testServer(t)
 	path := filepath.Join(t.TempDir(), "oracle.chain")
-	if err := s.enableChain(path, s.oracle); err != nil {
+	if err := s.enableChain(path, liveOracle(t, s)); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.mux)
@@ -264,7 +264,7 @@ func TestDeltaChainPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, live, _ := s.state()
+	live := liveOracle(t, s)
 	nn := live.G.NumVertices()
 	if loaded.G.NumVertices() != nn || loaded.G.NumEdges() != live.G.NumEdges() {
 		t.Fatalf("chain loads (%d,%d), live is (%d,%d)",

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/apsp"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/qe"
 )
@@ -57,9 +59,10 @@ func TestResponseEncoding(t *testing.T) {
 // HTTP surface: an over-cap matrix is a 400 with the uniform envelope,
 // and nothing is computed.
 func TestBatchTooLargeHTTP(t *testing.T) {
-	s, _, _ := testServer(t)
 	reg := obs.NewRegistry()
-	s.engine = qe.New(s.oracle, qe.Config{CacheRows: 16, MaxInflight: 2, MaxBatchPairs: 8, Reg: reg})
+	s, _ := testServerEngine(t, func(_ *graph.Graph, o *apsp.Oracle) *qe.Engine {
+		return qe.New(o, qe.Config{CacheRows: 16, MaxInflight: 2, MaxBatchPairs: 8, Reg: reg})
+	})
 	ts := httptest.NewServer(s.mux)
 	defer ts.Close()
 

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/registry"
+)
+
+// graphsResponse is GET /v1/graphs: every known graph, resident or cold.
+type graphsResponse struct {
+	Graphs    int                  `json:"graphs"`
+	MaxGraphs int                  `json:"max_graphs"`
+	List      []registry.GraphInfo `json:"list"`
+}
+
+// graphDetailResponse is GET /v1/graphs/{name}: the graph's lifecycle row
+// plus its scoped metrics (the same names single-graph /stats exports,
+// rendered from the graph's "g.<name>." namespace).
+type graphDetailResponse struct {
+	registry.GraphInfo
+	Stats json.RawMessage `json:"stats"`
+}
+
+// registerResponse is PUT /v1/graphs/{name}: the validated snapshot's
+// dimensions.
+type registerResponse struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+}
+
+// removeResponse is DELETE /v1/graphs/{name}.
+type removeResponse struct {
+	Name    string `json:"name"`
+	Removed bool   `json:"removed"`
+}
+
+// graphsList is GET /v1/graphs.
+func (s *server) graphsList(r *http.Request) (interface{}, error) {
+	if r.Method != http.MethodGet {
+		return nil, &httpError{http.StatusMethodNotAllowed, fmt.Errorf("GET /v1/graphs to list graphs")}
+	}
+	list := s.registry.List()
+	return graphsResponse{Graphs: len(list), MaxGraphs: s.registry.MaxGraphs(), List: list}, nil
+}
+
+// graphAdmin is the per-graph admin resource: GET reads one graph's
+// lifecycle state and scoped metrics, PUT uploads (or atomically
+// replaces) its snapshot, DELETE unregisters it. Uploads stream to a
+// temporary file and are decode-validated before the rename, so a
+// half-written or corrupt body never becomes servable; replacement
+// retires the resident entry, whose in-flight requests drain on the old
+// oracle.
+func (s *server) graphAdmin(r *http.Request) (interface{}, error) {
+	name := r.PathValue("name")
+	if !registry.ValidName(name) {
+		return nil, graphError(fmt.Errorf("%q: %w", name, registry.ErrBadName))
+	}
+	switch r.Method {
+	case http.MethodGet:
+		info, ok := s.registry.Info(name)
+		if !ok {
+			return nil, graphError(fmt.Errorf("%q: %w", name, registry.ErrUnknownGraph))
+		}
+		return graphDetailResponse{
+			GraphInfo: info,
+			Stats:     json.RawMessage(s.registry.StatsView(name).String()),
+		}, nil
+	case http.MethodPut:
+		nv, ne, err := s.registry.Register(name, http.MaxBytesReader(nil, r.Body, maxSnapshotBody))
+		if err != nil {
+			return nil, graphError(err)
+		}
+		return registerResponse{Name: name, Vertices: nv, Edges: ne}, nil
+	case http.MethodDelete:
+		if err := s.registry.Remove(name); err != nil {
+			return nil, graphError(err)
+		}
+		return removeResponse{Name: name, Removed: true}, nil
+	}
+	return nil, &httpError{http.StatusMethodNotAllowed,
+		fmt.Errorf("GET, PUT, or DELETE /v1/graphs/{name}")}
+}

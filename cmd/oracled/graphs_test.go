@@ -1,0 +1,317 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apsp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// snapDir builds a snapshot directory with one graph per name (each
+// structurally distinct via its seed) and returns the dir plus each
+// graph's Floyd–Warshall reference table.
+func snapDir(t *testing.T, names ...string) (string, map[string]*graph.Graph, map[string][]graph.Weight) {
+	t.Helper()
+	dir := t.TempDir()
+	graphs := make(map[string]*graph.Graph, len(names))
+	refs := make(map[string][]graph.Weight, len(names))
+	for i, name := range names {
+		cfg := gen.Config{MaxWeight: 9}
+		rng := gen.NewRNG(uint64(7 + i))
+		g := gen.ChainBlocks([]*graph.Graph{
+			gen.Theta([]int{2, 3, 4}, cfg, rng),
+			gen.Ring(6+i, cfg, rng),
+		}, cfg, rng)
+		f, err := os.Create(filepath.Join(dir, name+registry.SnapshotExt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := apsp.NewOracle(g).WriteTo(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		graphs[name] = g
+		refs[name] = apsp.FloydWarshall(g)
+	}
+	return dir, graphs, refs
+}
+
+// multiServer boots a server over a snapshot directory — the -snapshot-dir
+// serving mode, no default graph.
+func multiServer(t *testing.T, dir string, maxGraphs int) (*server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	rg, err := registry.Open(registry.Config{
+		Dir: dir, MaxGraphs: maxGraphs,
+		Limits: registry.Limits{CacheRows: 32, MaxInflight: 4, QueueDepth: 16},
+		Reg:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(rg, nil, reg), reg
+}
+
+// TestMultiTenantServing is the tentpole acceptance over HTTP: one daemon
+// serves two named graphs lazily, each answering exactly its own
+// Floyd–Warshall reference.
+func TestMultiTenantServing(t *testing.T) {
+	dir, graphs, refs := snapDir(t, "east", "west")
+	s, reg := multiServer(t, dir, 4)
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	for name, g := range graphs {
+		n := g.NumVertices()
+		ref := refs[name]
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v += 3 {
+				out := getJSON(t, ts, fmt.Sprintf("/v1/graphs/%s/distance?u=%d&v=%d", name, u, v), 200)
+				want := ref[u*n+v]
+				if want >= apsp.Inf {
+					if out["reachable"].(bool) {
+						t.Fatalf("%s d(%d,%d): reachable, want not", name, u, v)
+					}
+					continue
+				}
+				if got := out["distance"].(float64); got != float64(want) {
+					t.Fatalf("%s d(%d,%d) = %v, want %v", name, u, v, got, want)
+				}
+			}
+		}
+	}
+	// Both hydrated exactly once, metrics under their prefixes.
+	if got := reg.Counter("registry.hydrations").Value(); got != 2 {
+		t.Fatalf("registry.hydrations = %d, want 2", got)
+	}
+	for name := range graphs {
+		if reg.Counter("g."+name+".qe.rows.built").Value() == 0 {
+			t.Fatalf("no prefixed qe metrics for %s", name)
+		}
+	}
+
+	// The listing reports both graphs live.
+	list := getJSON(t, ts, "/v1/graphs", 200)
+	if list["graphs"].(float64) != 2 {
+		t.Fatalf("/v1/graphs: %v", list)
+	}
+	rows := list["list"].([]interface{})
+	if len(rows) != 2 || rows[0].(map[string]interface{})["name"] != "east" {
+		t.Fatalf("/v1/graphs list: %v", rows)
+	}
+
+	// Unknown graph 404, traversal-shaped name 400, and with no default
+	// graph pinned the legacy route is a 404 too.
+	if out := getJSON(t, ts, "/v1/graphs/nope/distance?u=0&v=1", 404); out["code"] != "not_found" {
+		t.Fatalf("unknown graph envelope: %v", out)
+	}
+	getJSON(t, ts, "/v1/graphs/..%2Fetc/distance?u=0&v=1", 404) // "../etc": no such graph, never a path
+	if out := getJSON(t, ts, "/v1/distance?u=0&v=1", 404); out["code"] != "not_found" {
+		t.Fatalf("default-less legacy route: %v", out)
+	}
+
+	// healthz reports the registry's graph count.
+	h := getJSON(t, ts, "/healthz", 200)
+	if h["graphs"].(float64) != 2 || h["status"] != "ok" {
+		t.Fatalf("healthz: %v", h)
+	}
+}
+
+// TestDefaultGraphEquivalence pins the compatibility contract: every
+// unnamed route answers byte-identically to its /v1/graphs/default twin.
+func TestDefaultGraphEquivalence(t *testing.T) {
+	s, _, _ := testServer(t)
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	for _, pair := range [][2]string{
+		{"/distance?u=0&v=3", "/v1/graphs/default/distance?u=0&v=3"},
+		{"/v1/distance?u=0&v=3", "/v1/graphs/default/distance?u=0&v=3"},
+		{"/v1/path?u=0&v=3", "/v1/graphs/default/path?u=0&v=3"},
+		{"/v1/mcb/cycle?i=0", "/v1/graphs/default/mcb/cycle?i=0"},
+	} {
+		var bodies [2][]byte
+		for i, p := range pair {
+			resp, err := ts.Client().Get(ts.URL + p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != 200 {
+				t.Fatalf("GET %s: status %d", p, resp.StatusCode)
+			}
+			bodies[i] = b
+		}
+		if !bytes.Equal(bodies[0], bodies[1]) {
+			t.Fatalf("%s and %s differ:\n%s\n%s", pair[0], pair[1], bodies[0], bodies[1])
+		}
+	}
+}
+
+// TestGraphAdminLifecycle walks the admin surface end to end: upload a
+// snapshot, query it, read its stats, replace it, delete it.
+func TestGraphAdminLifecycle(t *testing.T) {
+	dir, _, _ := snapDir(t, "seedgraph")
+	s, _ := multiServer(t, dir, 4)
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	do := func(method, path string, body io.Reader, wantStatus int) map[string]interface{} {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("%s %s: status %d, want %d (%s)", method, path, resp.StatusCode, wantStatus, b)
+		}
+		var out map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+		return out
+	}
+
+	// Upload a new graph.
+	g := gen.Ring(10, gen.Config{MaxWeight: 1}, gen.NewRNG(3))
+	var snap bytes.Buffer
+	if _, err := apsp.NewOracle(g).WriteTo(&snap); err != nil {
+		t.Fatal(err)
+	}
+	up := do(http.MethodPut, "/v1/graphs/uploaded", bytes.NewReader(snap.Bytes()), 200)
+	if up["vertices"].(float64) != 10 {
+		t.Fatalf("upload response: %v", up)
+	}
+	if d := getJSON(t, ts, "/v1/graphs/uploaded/distance?u=0&v=5", 200); d["distance"].(float64) != 5 {
+		t.Fatalf("uploaded ring d(0,5): %v", d)
+	}
+
+	// GET returns lifecycle info plus the scoped stats (unprefixed names).
+	info := do(http.MethodGet, "/v1/graphs/uploaded", nil, 200)
+	if info["state"] != "live" {
+		t.Fatalf("uploaded info: %v", info)
+	}
+	if stats, ok := info["stats"].(map[string]interface{}); !ok || stats["qe.rows.built"] == nil {
+		t.Fatalf("uploaded stats: %v", info["stats"])
+	}
+
+	// Garbage upload: 400, graph not registered.
+	if out := do(http.MethodPut, "/v1/graphs/junk", strings.NewReader("not a snapshot"), 400); out["code"] != "bad_request" {
+		t.Fatalf("garbage upload envelope: %v", out)
+	}
+	do(http.MethodGet, "/v1/graphs/junk", nil, 404)
+
+	// Replace: the ring shrinks; the route serves the new graph.
+	g2 := gen.Ring(6, gen.Config{MaxWeight: 1}, gen.NewRNG(4))
+	snap.Reset()
+	if _, err := apsp.NewOracle(g2).WriteTo(&snap); err != nil {
+		t.Fatal(err)
+	}
+	do(http.MethodPut, "/v1/graphs/uploaded", bytes.NewReader(snap.Bytes()), 200)
+	if d := getJSON(t, ts, "/v1/graphs/uploaded/distance?u=0&v=3", 200); d["distance"].(float64) != 3 {
+		t.Fatalf("replaced ring d(0,3): %v", d)
+	}
+
+	// Delete: gone from routes and listing, snapshot file removed.
+	if out := do(http.MethodDelete, "/v1/graphs/uploaded", nil, 200); out["removed"] != true {
+		t.Fatalf("delete response: %v", out)
+	}
+	getJSON(t, ts, "/v1/graphs/uploaded/distance?u=0&v=1", 404)
+	if _, err := os.Stat(filepath.Join(dir, "uploaded"+registry.SnapshotExt)); !os.IsNotExist(err) {
+		t.Fatalf("snapshot file survived delete")
+	}
+
+	// Method and name validation on the admin resource.
+	do(http.MethodPost, "/v1/graphs/seedgraph", nil, 405)
+	do(http.MethodDelete, "/v1/graphs/%2e%2e", nil, 400)
+}
+
+// TestNamedGraphDeltas applies a delta to one named graph and asserts the
+// other graph (and the basis-free admin surface) is untouched.
+func TestNamedGraphDeltas(t *testing.T) {
+	dir := t.TempDir()
+	for i, name := range []string{"a", "b"} {
+		g := gen.Ring(12, gen.Config{MaxWeight: 1}, gen.NewRNG(uint64(1+i)))
+		f, err := os.Create(filepath.Join(dir, name+registry.SnapshotExt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := apsp.NewOracle(g).WriteTo(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	s, _ := multiServer(t, dir, 4)
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	if d := getJSON(t, ts, "/v1/graphs/a/distance?u=0&v=6", 200); d["distance"].(float64) != 6 {
+		t.Fatalf("pre-delta a: %v", d)
+	}
+	out := postJSON(t, ts, "/v1/graphs/a/deltas", `{"deltas":[{"op":"insert","u":0,"v":6,"weight":1}]}`, 200)
+	if out["applied"].(float64) != 1 {
+		t.Fatalf("deltas response: %v", out)
+	}
+	if d := getJSON(t, ts, "/v1/graphs/a/distance?u=0&v=6", 200); d["distance"].(float64) != 1 {
+		t.Fatalf("post-delta a: %v", d)
+	}
+	// b is a separate tenant: still the plain ring.
+	if d := getJSON(t, ts, "/v1/graphs/b/distance?u=0&v=6", 200); d["distance"].(float64) != 6 {
+		t.Fatalf("b disturbed by a's delta: %v", d)
+	}
+}
+
+// TestValidateServeOpts pins the fail-fast flag conflicts, -snapshot-dir's
+// in particular: multi-tenant mode excludes every single-graph source and
+// persistence flag.
+func TestValidateServeOpts(t *testing.T) {
+	cases := []struct {
+		name string
+		o    serveOpts
+		ok   bool
+	}{
+		{"dataset only", serveOpts{dataset: "Planar_1"}, true},
+		{"file only", serveOpts{file: "g.mtx"}, true},
+		{"load-snapshot only", serveOpts{loadSnap: "o.snap"}, true},
+		{"snapshot-dir only", serveOpts{snapshotDir: "snaps"}, true},
+		{"mcb with dataset", serveOpts{dataset: "Planar_1", withMCB: true}, true},
+		{"load-snapshot with file", serveOpts{loadSnap: "o.snap", file: "g.mtx"}, false},
+		{"load-snapshot with dataset", serveOpts{loadSnap: "o.snap", dataset: "Planar_1"}, false},
+		{"mcb without source", serveOpts{withMCB: true}, false},
+		{"snapshot-dir with file", serveOpts{snapshotDir: "snaps", file: "g.mtx"}, false},
+		{"snapshot-dir with dataset", serveOpts{snapshotDir: "snaps", dataset: "Planar_1"}, false},
+		{"snapshot-dir with load-snapshot", serveOpts{snapshotDir: "snaps", loadSnap: "o.snap"}, false},
+		{"snapshot-dir with mcb", serveOpts{snapshotDir: "snaps", withMCB: true}, false},
+		{"snapshot-dir with save-snapshot", serveOpts{snapshotDir: "snaps", saveSnap: "o.snap"}, false},
+		{"snapshot-dir with save-delta-chain", serveOpts{snapshotDir: "snaps", saveChain: "o.chain"}, false},
+	}
+	for _, tc := range cases {
+		if err := validateServeOpts(tc.o); (err == nil) != tc.ok {
+			t.Errorf("%s: err = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}

@@ -68,6 +68,7 @@ import (
 	"repro/internal/mcb"
 	"repro/internal/obs"
 	"repro/internal/qe"
+	"repro/internal/registry"
 )
 
 func main() {
@@ -85,18 +86,21 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	engineCfg := cli.EngineFlags()
-	cli.SetUsage("oracled", "[-file graph | -dataset name | -load-snapshot file] [-addr host:port] [flags]")
+	registryCfg := cli.RegistryFlags(engineCfg)
+	cli.SetUsage("oracled", "[-file graph | -dataset name | -load-snapshot file | -snapshot-dir dir] [-addr host:port] [flags]")
 	flag.Parse()
 
-	// Fail fast on contradictory graph sources, before any expensive work:
-	// a snapshot already embeds its graph, so combining -load-snapshot with
-	// -file/-dataset would silently ignore one of them — with -mcb the basis
-	// could then be computed against a different graph than the one served.
-	if *loadSnap != "" && (*file != "" || *dataset != "") {
-		cli.BadUsage("oracled", "-load-snapshot replaces -file/-dataset; do not combine them")
-	}
-	if *withMCB && *loadSnap == "" && *file == "" && *dataset == "" {
-		cli.BadUsage("oracled", "-mcb needs a graph source: give -file, -dataset, or -load-snapshot")
+	rcfg := registryCfg()
+	if err := validateServeOpts(serveOpts{
+		snapshotDir: rcfg.Dir,
+		file:        *file,
+		dataset:     *dataset,
+		loadSnap:    *loadSnap,
+		saveSnap:    *saveSnap,
+		saveChain:   *saveChain,
+		withMCB:     *withMCB,
+	}); err != nil {
+		cli.BadUsage("oracled", err.Error())
 	}
 
 	// The signal context exists before the build phases, not just the serve
@@ -104,55 +108,84 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var (
-		g      *graph.Graph
-		oracle *apsp.Oracle
-	)
-	if *loadSnap != "" {
-		oracle = loadOracleSnapshot(*loadSnap)
-		// Serve — and, with -mcb, compute the basis over — the exact graph
-		// decoded from the snapshot; no other source can skew it.
-		g = oracle.G
-		fmt.Fprintf(os.Stderr, "oracled: snapshot %s (%d vertices, %d edges) loaded in %v — no build phases run\n",
-			*loadSnap, g.NumVertices(), g.NumEdges(), oracle.BuildPhases.Get("snapshot.load"))
-	} else {
-		var name string
-		var err error
-		g, name, err = cli.LoadInput(*file, *dataset, *scale, *seed)
-		if err != nil {
-			cli.Exit("oracled", err)
-		}
-		start := time.Now()
-		oracle = apsp.NewOracleParallel(g, *workers)
-		fmt.Fprintf(os.Stderr, "oracled: graph %s (%d vertices, %d edges), oracle built in %v (phases %s)\n",
-			name, g.NumVertices(), g.NumEdges(), time.Since(start), oracle.BuildPhases)
-	}
-	if *saveSnap != "" {
-		if err := saveOracleSnapshot(*saveSnap, oracle); err != nil {
-			cli.Fatalf("oracled", "save snapshot: %v", err)
-		}
-		fmt.Fprintf(os.Stderr, "oracled: wrote oracle snapshot %s\n", *saveSnap)
-	}
+	obs.Default.Publish("obs")
+	rcfg.Reg = obs.Default
 
 	var basis *mcb.Result
-	if *withMCB {
-		start := time.Now()
+	var rg *registry.Registry
+	if rcfg.Dir != "" {
+		// Multi-tenant mode: every <name>.snap in the directory is a named
+		// graph, hydrated lazily on its first query.
 		var err error
-		basis, err = mcb.ComputeCtx(ctx, g, mcb.Options{UseEar: true, Workers: *workers, Seed: *seed})
+		rg, err = registry.Open(rcfg)
 		if err != nil {
-			cli.Fatalf("oracled", "cycle basis: %v", err)
+			cli.Fatalf("oracled", "%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "oracled: cycle basis: %d cycles, total weight %g, built in %v\n",
-			len(basis.Cycles), basis.TotalWeight, time.Since(start))
+		fmt.Fprintf(os.Stderr, "oracled: multi-tenant: %d snapshots in %s (max %d resident) — hydration is lazy\n",
+			len(rg.List()), rcfg.Dir, rg.MaxGraphs())
+	} else {
+		// Single-graph mode: build (or snapshot-load) one oracle and pin it
+		// as the registry's default graph. Its engine metrics stay at the
+		// obs root, unprefixed, exactly as before multi-tenancy existed.
+		var (
+			g      *graph.Graph
+			oracle *apsp.Oracle
+		)
+		if *loadSnap != "" {
+			oracle = loadOracleSnapshot(*loadSnap)
+			// Serve — and, with -mcb, compute the basis over — the exact graph
+			// decoded from the snapshot; no other source can skew it.
+			g = oracle.G
+			fmt.Fprintf(os.Stderr, "oracled: snapshot %s (%d vertices, %d edges) loaded in %v — no build phases run\n",
+				*loadSnap, g.NumVertices(), g.NumEdges(), oracle.BuildPhases.Get("snapshot.load"))
+		} else {
+			var name string
+			var err error
+			g, name, err = cli.LoadInput(*file, *dataset, *scale, *seed)
+			if err != nil {
+				cli.Exit("oracled", err)
+			}
+			start := time.Now()
+			oracle = apsp.NewOracleParallel(g, *workers)
+			fmt.Fprintf(os.Stderr, "oracled: graph %s (%d vertices, %d edges), oracle built in %v (phases %s)\n",
+				name, g.NumVertices(), g.NumEdges(), time.Since(start), oracle.BuildPhases)
+		}
+		if *saveSnap != "" {
+			if err := saveOracleSnapshot(*saveSnap, oracle); err != nil {
+				cli.Fatalf("oracled", "save snapshot: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "oracled: wrote oracle snapshot %s\n", *saveSnap)
+		}
+		if *withMCB {
+			start := time.Now()
+			var err error
+			basis, err = mcb.ComputeCtx(ctx, g, mcb.Options{UseEar: true, Workers: *workers, Seed: *seed})
+			if err != nil {
+				cli.Fatalf("oracled", "cycle basis: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "oracled: cycle basis: %d cycles, total weight %g, built in %v\n",
+				len(basis.Cycles), basis.TotalWeight, time.Since(start))
+		}
+		cfg := engineCfg()
+		cfg.Reg = obs.Default
+		engine := qe.New(oracle, cfg)
+		var err error
+		rg, err = registry.Open(rcfg) // Dir "": static-only, serves exactly the pinned graph
+		if err != nil {
+			cli.Fatalf("oracled", "%v", err)
+		}
+		rg.AddStatic(registry.DefaultGraph, oracle, engine)
 	}
 
-	obs.Default.Publish("obs")
-	cfg := engineCfg()
-	cfg.Reg = obs.Default
-	engine := qe.New(oracle, cfg)
-	s := newServer(g, oracle, basis, engine, obs.Default)
+	s := newServer(rg, basis, obs.Default)
 	if *saveChain != "" {
-		if err := s.enableChain(*saveChain, oracle); err != nil {
+		base, err := rg.Acquire(ctx, registry.DefaultGraph)
+		if err != nil {
+			cli.Fatalf("oracled", "delta chain: %v", err)
+		}
+		err = s.enableChain(*saveChain, base.Oracle())
+		base.Release()
+		if err != nil {
 			cli.Fatalf("oracled", "delta chain: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "oracled: delta chain persisting to %s\n", *saveChain)
@@ -167,7 +200,46 @@ func main() {
 	if err := serve(ctx, srv, ln, *drain); err != nil {
 		cli.Fatalf("oracled", "%v", err)
 	}
+	cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	rg.Close(cctx)
+	cancel()
 	fmt.Fprintln(os.Stderr, "oracled: drained, bye")
+}
+
+// serveOpts is the flag combination validateServeOpts rules on; a struct
+// rather than positional parameters so the fail-fast tests read clearly.
+type serveOpts struct {
+	snapshotDir, file, dataset, loadSnap, saveSnap, saveChain string
+	withMCB                                                   bool
+}
+
+// validateServeOpts fails fast on contradictory flag combinations, before
+// any expensive work. A snapshot already embeds its graph, so combining
+// -load-snapshot with -file/-dataset would silently ignore one of them —
+// with -mcb the basis could then be computed against a different graph
+// than the one served. -snapshot-dir is a different serving mode entirely
+// (many graphs, none of them "the" graph), so every single-graph source
+// and persistence flag conflicts with it.
+func validateServeOpts(o serveOpts) error {
+	if o.loadSnap != "" && (o.file != "" || o.dataset != "") {
+		return fmt.Errorf("-load-snapshot replaces -file/-dataset; do not combine them")
+	}
+	if o.snapshotDir != "" {
+		switch {
+		case o.file != "" || o.dataset != "" || o.loadSnap != "":
+			return fmt.Errorf("-snapshot-dir serves many named graphs; it cannot be combined with -file, -dataset, or -load-snapshot")
+		case o.withMCB:
+			return fmt.Errorf("-mcb builds a basis for the single default graph; it cannot be combined with -snapshot-dir")
+		case o.saveSnap != "":
+			return fmt.Errorf("-save-snapshot persists the single built oracle; it cannot be combined with -snapshot-dir")
+		case o.saveChain != "":
+			return fmt.Errorf("-save-delta-chain records the default graph's history; it cannot be combined with -snapshot-dir")
+		}
+	}
+	if o.withMCB && o.loadSnap == "" && o.file == "" && o.dataset == "" {
+		return fmt.Errorf("-mcb needs a graph source: give -file, -dataset, or -load-snapshot")
+	}
+	return nil
 }
 
 // loadOracleSnapshot restores a served oracle from an oracle snapshot

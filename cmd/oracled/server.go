@@ -18,6 +18,7 @@ import (
 	"repro/internal/mcb"
 	"repro/internal/obs"
 	"repro/internal/qe"
+	"repro/internal/registry"
 )
 
 // maxBatchBody bounds one /batch request's JSON body; the N×M result
@@ -25,36 +26,38 @@ import (
 // (-max-batch-pairs), whose typed ErrBatchTooLarge maps to 400 below.
 const maxBatchBody = 8 << 20
 
-// server is the HTTP face of one built oracle. The oracle tables
-// themselves are immutable — POST /v1/deltas never mutates them, it swaps
-// in a new oracle built by ApplyDelta — so read handlers only need the
-// cheap pointer snapshot under mu.RLock; the heavy lifting (block
-// recomputation, cache invalidation) happens on the applier's goroutine
-// with deltaMu serialising concurrent appliers.
-type server struct {
-	mu     sync.RWMutex // guards g, oracle, basis (pointer swaps only)
-	g      *graph.Graph
-	oracle *apsp.Oracle
-	basis  *mcb.Result
+// maxSnapshotBody bounds one PUT /v1/graphs/{name} snapshot upload.
+const maxSnapshotBody = 1 << 30
 
-	// deltaMu serialises /v1/deltas appliers so scripts apply in a total
+// server is the HTTP face of a graph registry. Every query route is
+// graph-scoped: the unnamed legacy routes resolve to the reserved
+// "default" graph (the one built from -file/-dataset/-load-snapshot),
+// and /v1/graphs/{name}/... resolves by path. Handlers hold a registry
+// reference for the duration of one request, so an eviction or snapshot
+// replacement never cuts a request off mid-answer — the displaced
+// oracle/engine pair drains and closes after its last in-flight request
+// releases.
+type server struct {
+	registry *registry.Registry
+
+	// mu guards basis (pointer swap only). The basis describes the
+	// default graph as built at boot; a successful delta apply against
+	// the default graph invalidates it.
+	mu    sync.RWMutex
+	basis *mcb.Result
+
+	// deltaMu serialises /deltas appliers so scripts apply in a total
 	// order (positional edge IDs make concurrent application ambiguous).
-	// It also guards the chain state below.
+	// One lock across all graphs: applies are rare and heavy, and a
+	// process-wide order keeps the chain file's semantics trivial. It
+	// also guards the chain state below.
 	deltaMu     sync.Mutex
-	chainPath   string       // when set, every apply rewrites this chain snapshot
+	chainPath   string       // when set, every default-graph apply rewrites this chain snapshot
 	chainBase   *apsp.Oracle // the oracle the chain's deltas replay onto
 	chainDeltas []apsp.Delta // all deltas applied since chainBase
 
-	engine *qe.Engine
-	reg    *obs.Registry
-	mux    *http.ServeMux
-}
-
-// state snapshots the served graph/oracle/basis consistently.
-func (s *server) state() (*graph.Graph, *apsp.Oracle, *mcb.Result) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.g, s.oracle, s.basis
+	reg *obs.Registry
+	mux *http.ServeMux
 }
 
 // apiVersion is the current route prefix. Every endpoint is mounted under
@@ -63,28 +66,43 @@ func (s *server) state() (*graph.Graph, *apsp.Oracle, *mcb.Result) {
 // deprecation policy in the README.
 const apiVersion = "/v1"
 
-func newServer(g *graph.Graph, oracle *apsp.Oracle, basis *mcb.Result, engine *qe.Engine, reg *obs.Registry) *server {
-	s := &server{g: g, oracle: oracle, basis: basis, engine: engine, reg: reg, mux: http.NewServeMux()}
+func newServer(rg *registry.Registry, basis *mcb.Result, reg *obs.Registry) *server {
+	s := &server{registry: rg, basis: basis, reg: reg, mux: http.NewServeMux()}
 	for _, ep := range []struct {
 		name, path string
-		fn         func(*http.Request) (interface{}, error)
+		fn         func(*registry.Entry, *http.Request) (interface{}, error)
 	}{
-		{"healthz", "/healthz", s.healthz},
 		{"distance", "/distance", s.distance},
 		{"path", "/path", s.path},
 		{"batch", "/batch", s.batch},
 		{"mcb.cycle", "/mcb/cycle", s.mcbCycle},
-		{"stats", "/stats", s.stats},
 	} {
-		// One handler registered twice, so both routes share the same
-		// oracled.<name>.* metrics and answer bit-identically.
-		h := s.handle(ep.name, ep.fn)
+		// One handler registered three times — legacy alias, /v1, and the
+		// named-graph route — so every route shares the same
+		// oracled.<name>.* metrics and answers bit-identically for the
+		// default graph.
+		h := s.handle(ep.name, s.withGraph(defaultName, ep.fn))
 		s.mux.Handle(apiVersion+ep.path, h)
 		s.mux.Handle(ep.path, deprecated(apiVersion+ep.path, h))
+		s.mux.Handle(apiVersion+"/graphs/{name}"+ep.path,
+			s.handle(ep.name, s.withGraph(pathName, ep.fn)))
 	}
 	// /v1/deltas is versioned-only: it post-dates the legacy API, so there
 	// is no unversioned alias to keep answering.
-	s.mux.Handle(apiVersion+"/deltas", s.handle("deltas", s.deltas))
+	s.mux.Handle(apiVersion+"/deltas", s.handle("deltas", s.withGraph(defaultName, s.deltas)))
+	s.mux.Handle(apiVersion+"/graphs/{name}/deltas", s.handle("deltas", s.withGraph(pathName, s.deltas)))
+	// Registry surface: the collection listing and the per-graph admin
+	// resource (GET info+stats, PUT snapshot upload, DELETE unregister).
+	s.mux.Handle(apiVersion+"/graphs", s.handle("graphs", s.graphsList))
+	s.mux.Handle(apiVersion+"/graphs/{name}", s.handle("graphs.admin", s.graphAdmin))
+
+	hz := s.handle("healthz", s.healthz)
+	s.mux.Handle(apiVersion+"/healthz", hz)
+	s.mux.Handle("/healthz", deprecated(apiVersion+"/healthz", hz))
+	st := s.handle("stats", s.stats)
+	s.mux.Handle(apiVersion+"/stats", st)
+	s.mux.Handle("/stats", deprecated(apiVersion+"/stats", st))
+
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -92,6 +110,51 @@ func newServer(g *graph.Graph, oracle *apsp.Oracle, basis *mcb.Result, engine *q
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// defaultName resolves every unnamed route to the reserved default graph.
+func defaultName(*http.Request) string { return registry.DefaultGraph }
+
+// pathName resolves /v1/graphs/{name}/... routes from the path.
+func pathName(r *http.Request) string { return r.PathValue("name") }
+
+// withGraph adapts a graph-scoped endpoint into the plain handler shape:
+// resolve the graph name, acquire its registry entry — hydrating it from
+// the snapshot directory on a cold hit — run fn against the entry, and
+// release. The reference held across fn is what makes eviction safe:
+// a graph evicted mid-request keeps serving this request and tears down
+// afterwards.
+func (s *server) withGraph(resolve func(*http.Request) string, fn func(*registry.Entry, *http.Request) (interface{}, error)) func(*http.Request) (interface{}, error) {
+	return func(r *http.Request) (interface{}, error) {
+		e, err := s.registry.Acquire(r.Context(), resolve(r))
+		if err != nil {
+			return nil, graphError(err)
+		}
+		defer e.Release()
+		return fn(e, r)
+	}
+}
+
+// graphError maps the registry's typed failures onto HTTP statuses:
+// unknown graph 404, illegal name 400, admin on a static-only registry
+// 403, registry shut down 503. Context errors pass through untouched so
+// the shared handler maps deadline expiry to 504, and anything else —
+// a snapshot that fails to decode during hydration — is a 500: the
+// request was well-formed, the serving side is what broke.
+func graphError(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return err
+	case errors.Is(err, registry.ErrUnknownGraph):
+		return &httpError{http.StatusNotFound, err}
+	case errors.Is(err, registry.ErrBadName), errors.Is(err, registry.ErrBadSnapshot):
+		return err // 400 bad_request
+	case errors.Is(err, registry.ErrReadOnly), errors.Is(err, registry.ErrPinned):
+		return &httpError{http.StatusForbidden, err}
+	case errors.Is(err, registry.ErrClosed):
+		return &httpError{http.StatusServiceUnavailable, err}
+	}
+	return &httpError{http.StatusInternalServerError, err}
 }
 
 // deprecated wraps a legacy unversioned route: same handler, plus the
@@ -168,6 +231,8 @@ func errorCode(status int) string {
 	switch status {
 	case http.StatusBadRequest:
 		return "bad_request"
+	case http.StatusForbidden:
+		return "forbidden"
 	case http.StatusNotFound:
 		return "not_found"
 	case http.StatusMethodNotAllowed:
@@ -232,6 +297,7 @@ type healthResponse struct {
 	Vertices int    `json:"vertices"`
 	Edges    int    `json:"edges"`
 	MCB      bool   `json:"mcb"`
+	Graphs   int    `json:"graphs,omitempty"`
 }
 
 // pairResponse is /distance's body; /path embeds it. Distance is a
@@ -263,14 +329,26 @@ type cycleResponse struct {
 	Vertices []int32      `json:"vertices"`
 }
 
+// currentBasis snapshots the default graph's cycle basis pointer.
+func (s *server) currentBasis() *mcb.Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.basis
+}
+
+// healthz keeps its single-graph shape — vertices/edges describe the
+// default graph when one is pinned — and adds the registry's known-graph
+// count, so multi-tenant daemons (no default graph, vertices 0) still
+// report something meaningful.
 func (s *server) healthz(*http.Request) (interface{}, error) {
-	g, _, basis := s.state()
-	return healthResponse{
-		Status:   "ok",
-		Vertices: g.NumVertices(),
-		Edges:    g.NumEdges(),
-		MCB:      basis != nil,
-	}, nil
+	resp := healthResponse{Status: "ok", MCB: s.currentBasis() != nil}
+	list := s.registry.List()
+	resp.Graphs = len(list)
+	if info, ok := s.registry.Info(registry.DefaultGraph); ok {
+		resp.Vertices = info.Vertices
+		resp.Edges = info.Edges
+	}
+	return resp, nil
 }
 
 // pairParam parses the u and v query parameters. Malformed values are 400;
@@ -285,12 +363,12 @@ func pairParam(r *http.Request) (int32, int32, error) {
 	return int32(u), int32(v), nil
 }
 
-func (s *server) distance(r *http.Request) (interface{}, error) {
+func (s *server) distance(e *registry.Entry, r *http.Request) (interface{}, error) {
 	u, v, err := pairParam(r)
 	if err != nil {
 		return nil, err
 	}
-	d, err := s.engine.Query(r.Context(), u, v)
+	d, err := e.Engine().Query(r.Context(), u, v)
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +379,7 @@ func (s *server) distance(r *http.Request) (interface{}, error) {
 	return resp, nil
 }
 
-func (s *server) path(r *http.Request) (interface{}, error) {
+func (s *server) path(e *registry.Entry, r *http.Request) (interface{}, error) {
 	u, v, err := pairParam(r)
 	if err != nil {
 		return nil, err
@@ -309,12 +387,11 @@ func (s *server) path(r *http.Request) (interface{}, error) {
 	// The distance goes through the engine — admission applies and the
 	// row lands in the cache, where followup queries near this pair will
 	// find it; reconstruction then walks the oracle directly.
-	d, err := s.engine.Query(r.Context(), u, v)
+	d, err := e.Engine().Query(r.Context(), u, v)
 	if err != nil {
 		return nil, err
 	}
-	_, oracle, _ := s.state()
-	walk, err := oracle.PathChecked(u, v)
+	walk, err := e.Oracle().PathChecked(u, v)
 	if err != nil {
 		return nil, &httpError{http.StatusInternalServerError, err}
 	}
@@ -340,7 +417,7 @@ type batchRequest struct {
 // Unreachable pairs come back as -1 (JSON has no Inf). Rows are computed
 // once per distinct source through the engine's cache, coalescing, and
 // work-queue scheduling.
-func (s *server) batch(r *http.Request) (interface{}, error) {
+func (s *server) batch(e *registry.Entry, r *http.Request) (interface{}, error) {
 	if r.Method != http.MethodPost {
 		return nil, &httpError{http.StatusMethodNotAllowed, fmt.Errorf("POST a JSON body to /batch")}
 	}
@@ -352,7 +429,7 @@ func (s *server) batch(r *http.Request) (interface{}, error) {
 	}
 	// Oversized matrices are rejected by the engine's MaxBatchPairs cap
 	// (typed qe.ErrBatchTooLarge → 400) before anything is allocated.
-	rows, err := s.engine.Batch(r.Context(), req.Sources, req.Targets)
+	rows, err := e.Engine().Batch(r.Context(), req.Sources, req.Targets)
 	if err != nil {
 		return nil, err
 	}
@@ -374,12 +451,19 @@ func (s *server) batch(r *http.Request) (interface{}, error) {
 	}, nil
 }
 
-func (s *server) mcbCycle(r *http.Request) (interface{}, error) {
-	g, _, basis := s.state()
+// mcbCycle serves the cycle basis, which exists only for the default
+// graph (built at boot with -mcb); named graphs answer 503 like a daemon
+// started without -mcb.
+func (s *server) mcbCycle(e *registry.Entry, r *http.Request) (interface{}, error) {
+	var basis *mcb.Result
+	if e.Name() == registry.DefaultGraph {
+		basis = s.currentBasis()
+	}
 	if basis == nil {
 		return nil, &httpError{http.StatusServiceUnavailable,
 			fmt.Errorf("no cycle basis loaded (start with -mcb, invalidated by deltas)")}
 	}
+	g := e.Graph()
 	// ParseInt with a 32-bit size, like every other vertex/index parameter:
 	// Atoi on a 64-bit platform accepted values beyond int32 and let them
 	// reach the basis API as silently different numbers on 32-bit builds.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/mcb"
 	"repro/internal/obs"
 	"repro/internal/qe"
+	"repro/internal/registry"
 )
 
 func testServer(t *testing.T) (*server, *graph.Graph, []graph.Weight) {
@@ -32,7 +33,46 @@ func testServer(t *testing.T) (*server, *graph.Graph, []graph.Weight) {
 	basis := mcb.Compute(g, mcb.Options{UseEar: true})
 	reg := obs.NewRegistry()
 	engine := qe.New(oracle, qe.Config{CacheRows: 64, MaxInflight: 8, QueueDepth: 64, Reg: reg})
-	return newServer(g, oracle, basis, engine, reg), g, apsp.FloydWarshall(g)
+	rg, err := registry.Open(registry.Config{Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg.AddStatic(registry.DefaultGraph, oracle, engine)
+	return newServer(rg, basis, reg), g, apsp.FloydWarshall(g)
+}
+
+// testServerEngine is testServer with an injected engine constructor for
+// the default graph — the hook the overload/batch-cap tests use to serve
+// through a blocking or tightly-capped engine.
+func testServerEngine(t *testing.T, mk func(g *graph.Graph, o *apsp.Oracle) *qe.Engine) (*server, *graph.Graph) {
+	t.Helper()
+	cfg := gen.Config{MaxWeight: 9}
+	rng := gen.NewRNG(42)
+	g := gen.ChainBlocks([]*graph.Graph{
+		gen.Theta([]int{2, 3, 4}, cfg, rng),
+		gen.CycleNecklace(3, 3, cfg, rng),
+	}, cfg, rng)
+	oracle := apsp.NewOracle(g)
+	basis := mcb.Compute(g, mcb.Options{UseEar: true})
+	reg := obs.NewRegistry()
+	rg, err := registry.Open(registry.Config{Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg.AddStatic(registry.DefaultGraph, oracle, mk(g, oracle))
+	return newServer(rg, basis, reg), g
+}
+
+// liveOracle returns the default graph's currently served oracle (the
+// post-delta build, if /v1/deltas ran).
+func liveOracle(t *testing.T, s *server) *apsp.Oracle {
+	t.Helper()
+	e, err := s.registry.Acquire(context.Background(), registry.DefaultGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Release()
+	return e.Oracle()
 }
 
 func getJSON(t *testing.T, ts *httptest.Server, path string, wantStatus int) map[string]interface{} {
@@ -304,11 +344,12 @@ func TestBatchEndpoint(t *testing.T) {
 // request that blocks inside its row build and asserts the next request
 // is shed as 503 with a Retry-After header.
 func TestOverloadResponds503(t *testing.T) {
-	s, _, _ := testServer(t)
 	gate := make(chan struct{})
 	began := make(chan struct{}, 1)
-	src := &blockingSource{n: s.g.NumVertices(), oracle: s.oracle, gate: gate, began: began}
-	s.engine = qe.New(src, qe.Config{CacheRows: 4, MaxInflight: 1, QueueDepth: 0, Reg: obs.NewRegistry()})
+	s, _ := testServerEngine(t, func(g *graph.Graph, o *apsp.Oracle) *qe.Engine {
+		src := &blockingSource{n: g.NumVertices(), oracle: o, gate: gate, began: began}
+		return qe.New(src, qe.Config{CacheRows: 4, MaxInflight: 1, QueueDepth: 0, Reg: obs.NewRegistry()})
+	})
 	ts := httptest.NewServer(s.mux)
 	defer ts.Close()
 

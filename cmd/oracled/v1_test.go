@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/apsp"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/qe"
 )
@@ -138,11 +140,12 @@ func TestErrorEnvelope(t *testing.T) {
 // carries code "overloaded" plus a machine-readable retry_after_ms that
 // agrees with the Retry-After header.
 func TestOverloadEnvelope(t *testing.T) {
-	s, _, _ := testServer(t)
 	gate := make(chan struct{})
 	began := make(chan struct{}, 1)
-	src := &blockingSource{n: s.g.NumVertices(), oracle: s.oracle, gate: gate, began: began}
-	s.engine = qe.New(src, qe.Config{CacheRows: 4, MaxInflight: 1, QueueDepth: 0, Reg: obs.NewRegistry()})
+	s, _ := testServerEngine(t, func(g *graph.Graph, o *apsp.Oracle) *qe.Engine {
+		src := &blockingSource{n: g.NumVertices(), oracle: o, gate: gate, began: began}
+		return qe.New(src, qe.Config{CacheRows: 4, MaxInflight: 1, QueueDepth: 0, Reg: obs.NewRegistry()})
+	})
 	ts := httptest.NewServer(s.mux)
 	defer ts.Close()
 

@@ -204,12 +204,26 @@ func (p *Phases) String() string {
 
 // Registry is a concurrent-safe namespace of metrics, itself an expvar.Var
 // rendering every member as one JSON object.
+//
+// A Registry is either a root (NewRegistry) owning the metric maps, or a
+// prefixed view of a root (Sub). Views delegate every lookup to the root
+// with their prefix prepended, so a component wired against a *Registry —
+// the query engine, say — works unmodified whether it was handed the root
+// or a per-tenant view: the same code registers "qe.cache.hits" either at
+// the root or as "g.<name>.qe.cache.hits".
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	phases   map[string]*Phases
+
+	// parent/prefix make this registry a view: non-nil parent means every
+	// operation delegates to parent with prefix prepended to the name.
+	// parent is always a root (Sub collapses nested views), so delegation
+	// is at most one hop.
+	parent *Registry
+	prefix string
 }
 
 // NewRegistry returns an empty registry.
@@ -225,8 +239,25 @@ func NewRegistry() *Registry {
 // Default is the process-wide registry the library wires its metrics into.
 var Default = NewRegistry()
 
+// Sub returns a view of r that prepends prefix to every metric name: a
+// counter obtained as Sub("g.a.").Counter("qe.hits") is the same object
+// as Counter("g.a.qe.hits") on the root, so per-tenant metric namespacing
+// needs no changes in the instrumented component. Sub of a view composes
+// the prefixes (still one delegation hop), and the view's String renders
+// only the metrics under its prefix, with the prefix stripped.
+func (r *Registry) Sub(prefix string) *Registry {
+	root, base := r, ""
+	if r.parent != nil {
+		root, base = r.parent, r.prefix
+	}
+	return &Registry{parent: root, prefix: base + prefix}
+}
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
+	if r.parent != nil {
+		return r.parent.Counter(r.prefix + name)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c := r.counters[name]
@@ -239,6 +270,9 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	if r.parent != nil {
+		return r.parent.Gauge(r.prefix + name)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g := r.gauges[name]
@@ -251,6 +285,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
+	if r.parent != nil {
+		return r.parent.Histogram(r.prefix + name)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h := r.hists[name]
@@ -263,6 +300,9 @@ func (r *Registry) Histogram(name string) *Histogram {
 
 // Phases returns the named phase set, creating it on first use.
 func (r *Registry) Phases(name string) *Phases {
+	if r.parent != nil {
+		return r.parent.Phases(r.prefix + name)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	p := r.phases[name]
@@ -273,8 +313,8 @@ func (r *Registry) Phases(name string) *Phases {
 	return p
 }
 
-// String renders every metric, sorted by name, as one JSON object.
-func (r *Registry) String() string {
+// vars snapshots every registered metric of a root registry.
+func (r *Registry) vars() map[string]expvar.Var {
 	r.mu.Lock()
 	vars := make(map[string]expvar.Var, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.phases))
 	for n, c := range r.counters {
@@ -290,9 +330,23 @@ func (r *Registry) String() string {
 		vars[n] = p
 	}
 	r.mu.Unlock()
-	names := make([]string, 0, len(vars))
-	for n := range vars {
-		names = append(names, n)
+	return vars
+}
+
+// String renders every metric, sorted by name, as one JSON object. On a
+// Sub view only the metrics under the view's prefix render, with the
+// prefix stripped, so every tenant's stats read with the same names.
+func (r *Registry) String() string {
+	root, prefix := r, ""
+	if r.parent != nil {
+		root, prefix = r.parent, r.prefix
+	}
+	all := root.vars()
+	names := make([]string, 0, len(all))
+	for n := range all {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	var b strings.Builder
@@ -301,7 +355,7 @@ func (r *Registry) String() string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%q:%s", n, vars[n].String())
+		fmt.Fprintf(&b, "%q:%s", strings.TrimPrefix(n, prefix), all[n].String())
 	}
 	b.WriteByte('}')
 	return b.String()

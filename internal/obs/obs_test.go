@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"expvar"
 	"sync"
 	"testing"
 	"time"
@@ -170,5 +171,100 @@ func TestRegistryRendersGauges(t *testing.T) {
 	}
 	if string(raw["q.depth"]) != "7" {
 		t.Fatalf("gauge rendered as %s, want 7", raw["q.depth"])
+	}
+}
+
+func TestSubPrefixesNames(t *testing.T) {
+	root := NewRegistry()
+	sub := root.Sub("g.a.")
+	sub.Counter("qe.hits").Add(3)
+	sub.Gauge("qe.rows").Set(5)
+	sub.Histogram("qe.lat").Observe(time.Millisecond)
+	sub.Phases("build").Record("bcc", time.Millisecond)
+
+	// The view and the root name the same objects: a prefixed lookup on
+	// the root must collide with the view's un-prefixed one.
+	if root.Counter("g.a.qe.hits") != sub.Counter("qe.hits") {
+		t.Fatalf("sub counter is not the root's prefixed counter")
+	}
+	if got := root.Counter("g.a.qe.hits").Value(); got != 3 {
+		t.Fatalf("root sees %d through the prefixed name, want 3", got)
+	}
+	if root.Gauge("g.a.qe.rows") != sub.Gauge("qe.rows") {
+		t.Fatalf("sub gauge is not the root's prefixed gauge")
+	}
+	if root.Histogram("g.a.qe.lat") != sub.Histogram("qe.lat") {
+		t.Fatalf("sub histogram is not the root's prefixed histogram")
+	}
+	if root.Phases("g.a.build") != sub.Phases("build") {
+		t.Fatalf("sub phases is not the root's prefixed phases")
+	}
+}
+
+func TestSubCollisionAcrossViews(t *testing.T) {
+	root := NewRegistry()
+	a1 := root.Sub("g.a.")
+	a2 := root.Sub("g.a.")
+	b := root.Sub("g.b.")
+	a1.Counter("hits").Inc()
+	a2.Counter("hits").Inc()
+	b.Counter("hits").Inc()
+	if got := root.Counter("g.a.hits").Value(); got != 2 {
+		t.Fatalf("two views of one prefix diverged: %d, want 2", got)
+	}
+	if got := root.Counter("g.b.hits").Value(); got != 1 {
+		t.Fatalf("distinct prefix leaked: %d, want 1", got)
+	}
+	// Nested subs compose prefixes and still delegate to the root.
+	nested := a1.Sub("deep.")
+	nested.Counter("x").Inc()
+	if got := root.Counter("g.a.deep.x").Value(); got != 1 {
+		t.Fatalf("nested sub missed the root: %d, want 1", got)
+	}
+}
+
+func TestSubStringRendersScopedView(t *testing.T) {
+	root := NewRegistry()
+	root.Counter("top").Add(9)
+	sub := root.Sub("g.a.")
+	sub.Counter("qe.hits").Add(4)
+	sub.Gauge("qe.rows").Set(2)
+
+	var scoped map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(sub.String()), &scoped); err != nil {
+		t.Fatalf("sub String is not JSON: %v\n%s", err, sub.String())
+	}
+	if string(scoped["qe.hits"]) != "4" || string(scoped["qe.rows"]) != "2" {
+		t.Fatalf("scoped view missing members: %v", scoped)
+	}
+	if _, leaked := scoped["top"]; leaked {
+		t.Fatalf("scoped view rendered an out-of-prefix metric: %v", scoped)
+	}
+	// The root renders everything under the full prefixed names.
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(root.String()), &all); err != nil {
+		t.Fatalf("root String is not JSON: %v", err)
+	}
+	for _, want := range []string{"top", "g.a.qe.hits", "g.a.qe.rows"} {
+		if _, ok := all[want]; !ok {
+			t.Fatalf("root rendering missing %q: %v", want, all)
+		}
+	}
+}
+
+func TestSubExpvarRendering(t *testing.T) {
+	root := NewRegistry()
+	root.Sub("g.ring.").Counter("qe.cache.hits").Add(11)
+	root.Publish("obs_sub_expvar_test")
+	v := expvar.Get("obs_sub_expvar_test")
+	if v == nil {
+		t.Fatalf("registry not published")
+	}
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(v.String()), &all); err != nil {
+		t.Fatalf("published registry is not JSON: %v", err)
+	}
+	if string(all["g.ring.qe.cache.hits"]) != "11" {
+		t.Fatalf("expvar rendering missing sub metric: %v", all)
 	}
 }

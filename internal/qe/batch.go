@@ -58,6 +58,9 @@ func (s *batchScratch) reset() {
 // On deadline expiry mid-batch the remaining rows are skipped and the
 // context error is returned; no partial matrix is produced.
 func (e *Engine) Batch(ctx context.Context, sources, targets []int32) ([][]graph.Weight, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	e.mu.Lock()
 	rs, n := e.src, e.n
 	e.mu.Unlock()

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -71,6 +72,9 @@ var (
 	// matrix exceeds the engine's MaxBatchPairs cap. The request is
 	// rejected before any allocation.
 	ErrBatchTooLarge = errors.New("qe: batch result matrix over pair cap")
+	// ErrClosed reports a Query or Batch against an engine that has been
+	// Closed (its host drained and released it).
+	ErrClosed = errors.New("qe: engine closed")
 )
 
 // Config tunes an Engine. The zero value is usable: see the field
@@ -115,6 +119,7 @@ type Engine struct {
 	workers  int
 	maxPairs int64
 	scratch  sync.Pool // *batchScratch
+	closed   atomic.Bool
 
 	// mu guards the live source, its vertex count, the swap epoch, and
 	// the in-flight map. src/n change only through SwapSource; epoch
@@ -228,6 +233,9 @@ func (e *Engine) withDeadline(ctx context.Context) (context.Context, context.Can
 // never bypassed — a hit still occupies an inflight slot, so overload
 // shedding stays accurate under a hot cache.
 func (e *Engine) Query(ctx context.Context, u, v int32) (graph.Weight, error) {
+	if e.closed.Load() {
+		return inf, ErrClosed
+	}
 	n := e.NumVertices()
 	if err := e.checkVertex("source", u, n); err != nil {
 		return inf, err

@@ -1,0 +1,58 @@
+package registry
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/qe"
+)
+
+// Limits bounds the resources of one hydrated graph's query engine. Every
+// graph a registry hydrates gets its own engine built from these limits,
+// so one tenant's batch storm fills its own admission queue and evicts
+// its own cache rows without touching its neighbours.
+//
+// The fields mirror qe.Config's tuning knobs (same zero-value
+// resolutions); LimitsFromConfig lifts a resolved config — typically the
+// one cli.EngineFlags produced from the daemon's flags — into Limits, so
+// the single-graph flag surface is also the per-graph default.
+type Limits struct {
+	// CacheRows bounds each graph's LRU row cache (0 resolves to
+	// qe.DefaultCacheRows; negative disables caching).
+	CacheRows int
+	// MaxInflight bounds each graph's concurrently served requests
+	// (≤ 0 resolves to the worker count).
+	MaxInflight int
+	// QueueDepth bounds requests waiting for admission per graph.
+	QueueDepth int
+	// Deadline bounds each request without its own context deadline.
+	Deadline time.Duration
+	// MaxBatchPairs bounds one Batch's |sources|×|targets| per graph.
+	MaxBatchPairs int64
+}
+
+// LimitsFromConfig copies the engine-tuning fields of cfg into Limits,
+// dropping the non-limit fields (the metrics registry is supplied
+// per-graph by the hydrator).
+func LimitsFromConfig(cfg qe.Config) Limits {
+	return Limits{
+		CacheRows:     cfg.CacheRows,
+		MaxInflight:   cfg.MaxInflight,
+		QueueDepth:    cfg.QueueDepth,
+		Deadline:      cfg.Deadline,
+		MaxBatchPairs: cfg.MaxBatchPairs,
+	}
+}
+
+// engineConfig resolves the limits into the qe.Config for one graph's
+// engine, wiring its metrics into reg (a per-graph prefixed view).
+func (l Limits) engineConfig(reg *obs.Registry) qe.Config {
+	return qe.Config{
+		CacheRows:     l.CacheRows,
+		MaxInflight:   l.MaxInflight,
+		QueueDepth:    l.QueueDepth,
+		Deadline:      l.Deadline,
+		MaxBatchPairs: l.MaxBatchPairs,
+		Reg:           reg,
+	}
+}

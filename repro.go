@@ -32,6 +32,7 @@ import (
 	"repro/internal/mcb"
 	"repro/internal/obs"
 	"repro/internal/qe"
+	"repro/internal/registry"
 	"repro/internal/snapshot"
 	"repro/internal/verify"
 )
@@ -268,6 +269,57 @@ func NewQueryEngine(src RowSource, cfg EngineConfig) *QueryEngine { return qe.Ne
 // Unreachable reports whether a distance returned by an engine query
 // means "no path".
 func Unreachable(d Weight) bool { return qe.Unreachable(d) }
+
+// Multi-tenant serving (the graph registry).
+type (
+	// Registry hosts many named graphs in one process: each is an
+	// APSPOracle + QueryEngine pair hydrated lazily from a snapshot
+	// directory (one <name>.snap per graph), with singleflight hydration,
+	// capacity-bounded LRU eviction that drains in-flight requests
+	// through reference counts, per-graph engine limits, and per-graph
+	// metric namespacing under "g.<name>.".
+	Registry = registry.Registry
+	// RegistryConfig configures OpenRegistry.
+	RegistryConfig = registry.Config
+	// RegistryEntry is one resident graph, returned by Registry.Acquire
+	// with a reference held; callers must Release exactly once.
+	RegistryEntry = registry.Entry
+	// RegistryLimits bounds each hydrated graph's engine (cache rows,
+	// admission, deadlines, batch caps).
+	RegistryLimits = registry.Limits
+	// RegistryGraphInfo is one graph's lifecycle row in Registry.List.
+	RegistryGraphInfo = registry.GraphInfo
+)
+
+// RegistryDefaultGraph is the reserved name carrying the single-graph
+// compatibility surface: a daemon serving one graph pins it under this
+// name, and unnamed routes resolve to it.
+const RegistryDefaultGraph = registry.DefaultGraph
+
+// Typed failures of the registry surface, wrap-compatible with errors.Is.
+var (
+	// ErrRegistryUnknownGraph reports a name with no registered snapshot.
+	ErrRegistryUnknownGraph = registry.ErrUnknownGraph
+	// ErrRegistryBadName reports an illegal graph name (outside
+	// [a-zA-Z0-9._-]{1,128}, or dots-only).
+	ErrRegistryBadName = registry.ErrBadName
+	// ErrRegistryReadOnly reports Register/Remove on a registry without a
+	// snapshot directory.
+	ErrRegistryReadOnly = registry.ErrReadOnly
+	// ErrRegistryClosed reports any operation after Registry.Close.
+	ErrRegistryClosed = registry.ErrClosed
+)
+
+// OpenRegistry builds a graph registry over cfg, scanning cfg.Dir (when
+// set) for *.snap files; hydration stays lazy until each graph's first
+// Acquire.
+func OpenRegistry(cfg RegistryConfig) (*Registry, error) { return registry.Open(cfg) }
+
+// RegistryLimitsFromConfig lifts a resolved engine config into per-graph
+// limits, so one tuning surface covers both serving modes.
+func RegistryLimitsFromConfig(cfg EngineConfig) RegistryLimits {
+	return registry.LimitsFromConfig(cfg)
+}
 
 // Observability.
 type (
