@@ -1,0 +1,54 @@
+package main
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// TestMuxMatchesRouteTable pins the server's mounted /v1 surface to the
+// declarative route table in internal/api — the same table the checked-in
+// api/openapi.yaml is generated from. A route added to the mux without a
+// table entry (or vice versa) fails here; together with apigen -check in
+// CI this makes the spec and the server provably the same set of routes.
+func TestMuxMatchesRouteTable(t *testing.T) {
+	rg, err := registry.Open(registry.Config{Reg: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(rg, nil, nil, obs.NewRegistry())
+
+	mounted := append([]string(nil), s.patterns...)
+	sort.Strings(mounted)
+	want := api.Patterns()
+	if len(mounted) != len(want) {
+		t.Errorf("mounted %d patterns, route table has %d", len(mounted), len(want))
+	}
+	for i := 0; i < len(mounted) || i < len(want); i++ {
+		var m, w string
+		if i < len(mounted) {
+			m = mounted[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if m != w {
+			t.Errorf("pattern %d: mux %q, route table %q", i, m, w)
+		}
+	}
+}
+
+// TestOpenAPIDeterministic: generating twice yields identical bytes —
+// the property the CI diff against the checked-in file relies on.
+func TestOpenAPIDeterministic(t *testing.T) {
+	a, b := api.OpenAPI(), api.OpenAPI()
+	if string(a) != string(b) {
+		t.Fatal("api.OpenAPI() is not deterministic")
+	}
+	if len(a) == 0 {
+		t.Fatal("api.OpenAPI() returned an empty document")
+	}
+}

@@ -8,11 +8,14 @@ import (
 	"repro/internal/registry"
 )
 
-// graphsResponse is GET /v1/graphs: every known graph, resident or cold.
+// graphsResponse is GET /v1/graphs: one cursor page of known graphs,
+// resident or cold, in the uniform items/next_cursor collection shape
+// shared with /v1/jobs.
 type graphsResponse struct {
-	Graphs    int                  `json:"graphs"`
-	MaxGraphs int                  `json:"max_graphs"`
-	List      []registry.GraphInfo `json:"list"`
+	Items      []registry.GraphInfo `json:"items"`
+	NextCursor string               `json:"next_cursor,omitempty"`
+	Total      int                  `json:"total"`
+	MaxGraphs  int                  `json:"max_graphs"`
 }
 
 // graphDetailResponse is GET /v1/graphs/{name}: the graph's lifecycle row
@@ -42,8 +45,15 @@ func (s *server) graphsList(r *http.Request) (interface{}, error) {
 	if r.Method != http.MethodGet {
 		return nil, &httpError{http.StatusMethodNotAllowed, fmt.Errorf("GET /v1/graphs to list graphs")}
 	}
-	list := s.registry.List()
-	return graphsResponse{Graphs: len(list), MaxGraphs: s.registry.MaxGraphs(), List: list}, nil
+	cursor, limit, err := pageParams(r)
+	if err != nil {
+		return nil, err
+	}
+	items, next, total := s.registry.ListPage(cursor, limit)
+	if items == nil {
+		items = []registry.GraphInfo{}
+	}
+	return graphsResponse{Items: items, NextCursor: next, Total: total, MaxGraphs: s.registry.MaxGraphs()}, nil
 }
 
 // graphAdmin is the per-graph admin resource: GET reads one graph's

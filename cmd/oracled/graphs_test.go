@@ -63,7 +63,7 @@ func multiServer(t *testing.T, dir string, maxGraphs int) (*server, *obs.Registr
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(rg, nil, reg), reg
+	return newServer(rg, nil, nil, reg), reg
 }
 
 // TestMultiTenantServing is the tentpole acceptance over HTTP: one daemon
@@ -104,14 +104,31 @@ func TestMultiTenantServing(t *testing.T) {
 		}
 	}
 
-	// The listing reports both graphs live.
+	// The listing reports both graphs live, in the uniform cursor-page
+	// shape ({"items":[...],"next_cursor":...,"total":N}).
 	list := getJSON(t, ts, "/v1/graphs", 200)
-	if list["graphs"].(float64) != 2 {
+	if list["total"].(float64) != 2 {
 		t.Fatalf("/v1/graphs: %v", list)
 	}
-	rows := list["list"].([]interface{})
+	rows := list["items"].([]interface{})
 	if len(rows) != 2 || rows[0].(map[string]interface{})["name"] != "east" {
-		t.Fatalf("/v1/graphs list: %v", rows)
+		t.Fatalf("/v1/graphs items: %v", rows)
+	}
+	if _, ok := list["next_cursor"]; ok {
+		t.Fatalf("single page must omit next_cursor: %v", list)
+	}
+	// Page size 1: names come back in order over two pages chained by
+	// next_cursor.
+	p1 := getJSON(t, ts, "/v1/graphs?limit=1", 200)
+	if n := p1["items"].([]interface{}); len(n) != 1 || n[0].(map[string]interface{})["name"] != "east" {
+		t.Fatalf("page 1: %v", p1)
+	}
+	p2 := getJSON(t, ts, "/v1/graphs?limit=1&cursor="+p1["next_cursor"].(string), 200)
+	if n := p2["items"].([]interface{}); len(n) != 1 || n[0].(map[string]interface{})["name"] != "west" {
+		t.Fatalf("page 2: %v", p2)
+	}
+	if out := getJSON(t, ts, "/v1/graphs?limit=zero", 400); out["code"] != "bad_request" {
+		t.Fatalf("bad limit envelope: %v", out)
 	}
 
 	// Unknown graph 404, traversal-shaped name 400, and with no default

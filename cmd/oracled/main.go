@@ -65,6 +65,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/graph"
 	"repro/internal/hetero"
+	"repro/internal/jobs"
 	"repro/internal/mcb"
 	"repro/internal/obs"
 	"repro/internal/qe"
@@ -87,6 +88,7 @@ func main() {
 	)
 	engineCfg := cli.EngineFlags()
 	registryCfg := cli.RegistryFlags(engineCfg)
+	jobsCfg := cli.JobsFlags()
 	cli.SetUsage("oracled", "[-file graph | -dataset name | -load-snapshot file | -snapshot-dir dir] [-addr host:port] [flags]")
 	flag.Parse()
 
@@ -177,7 +179,26 @@ func main() {
 		rg.AddStatic(registry.DefaultGraph, oracle, engine)
 	}
 
-	s := newServer(rg, basis, obs.Default)
+	// Async job tier (-jobs-dir): jobs acquire graphs through the registry
+	// exactly like interactive requests, so a running job pins its graph
+	// against eviction and the entry drains behind it; crash recovery
+	// resumes interrupted jobs from their persisted checkpoints at Open.
+	var jm *jobs.Manager
+	if jcfg := jobsCfg(); jcfg.Dir != "" {
+		jcfg.Host = func(ctx context.Context, name string) (jobs.GraphRef, error) {
+			return rg.Acquire(ctx, name)
+		}
+		jcfg.Known = func(name string) bool { _, ok := rg.Info(name); return ok }
+		jcfg.Reg = obs.Default
+		var err error
+		jm, err = jobs.Open(jcfg)
+		if err != nil {
+			cli.Fatalf("oracled", "jobs: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "oracled: async jobs enabled, checkpoints in %s\n", jcfg.Dir)
+	}
+
+	s := newServer(rg, basis, jm, obs.Default)
 	if *saveChain != "" {
 		base, err := rg.Acquire(ctx, registry.DefaultGraph)
 		if err != nil {
@@ -201,6 +222,13 @@ func main() {
 		cli.Fatalf("oracled", "%v", err)
 	}
 	cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if jm != nil {
+		// Before the registry: running jobs checkpoint their progress and
+		// release their graph references, so rg.Close drains cleanly. The
+		// interrupted checkpoints stay in the running state on disk and
+		// resume on the next boot.
+		jm.Close(cctx)
+	}
 	rg.Close(cctx)
 	cancel()
 	fmt.Fprintln(os.Stderr, "oracled: drained, bye")

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/apsp"
 	"repro/internal/graph"
+	"repro/internal/jobs"
 	"repro/internal/mcb"
 	"repro/internal/obs"
 	"repro/internal/qe"
@@ -40,6 +41,10 @@ const maxSnapshotBody = 1 << 30
 type server struct {
 	registry *registry.Registry
 
+	// jobs is the async tier (nil on daemons started without -jobs-dir;
+	// the /v1/jobs routes then answer 503 unavailable).
+	jobs *jobs.Manager
+
 	// mu guards basis (pointer swap only). The basis describes the
 	// default graph as built at boot; a successful delta apply against
 	// the default graph invalidates it.
@@ -58,6 +63,12 @@ type server struct {
 
 	reg *obs.Registry
 	mux *http.ServeMux
+
+	// patterns records every /v1-surface pattern mounted through mount(),
+	// so TestMuxMatchesRouteTable can diff the live mux against
+	// api.Patterns() — the route table cannot drift from the server
+	// without a test failure.
+	patterns []string
 }
 
 // apiVersion is the current route prefix. Every endpoint is mounted under
@@ -66,8 +77,8 @@ type server struct {
 // deprecation policy in the README.
 const apiVersion = "/v1"
 
-func newServer(rg *registry.Registry, basis *mcb.Result, reg *obs.Registry) *server {
-	s := &server{registry: rg, basis: basis, reg: reg, mux: http.NewServeMux()}
+func newServer(rg *registry.Registry, basis *mcb.Result, jm *jobs.Manager, reg *obs.Registry) *server {
+	s := &server{registry: rg, basis: basis, jobs: jm, reg: reg, mux: http.NewServeMux()}
 	for _, ep := range []struct {
 		name, path string
 		fn         func(*registry.Entry, *http.Request) (interface{}, error)
@@ -82,26 +93,32 @@ func newServer(rg *registry.Registry, basis *mcb.Result, reg *obs.Registry) *ser
 		// oracled.<name>.* metrics and answers bit-identically for the
 		// default graph.
 		h := s.handle(ep.name, s.withGraph(defaultName, ep.fn))
-		s.mux.Handle(apiVersion+ep.path, h)
-		s.mux.Handle(ep.path, deprecated(apiVersion+ep.path, h))
-		s.mux.Handle(apiVersion+"/graphs/{name}"+ep.path,
+		s.mount(apiVersion+ep.path, h)
+		s.mount(ep.path, deprecated(apiVersion+ep.path, h))
+		s.mount(apiVersion+"/graphs/{name}"+ep.path,
 			s.handle(ep.name, s.withGraph(pathName, ep.fn)))
 	}
 	// /v1/deltas is versioned-only: it post-dates the legacy API, so there
 	// is no unversioned alias to keep answering.
-	s.mux.Handle(apiVersion+"/deltas", s.handle("deltas", s.withGraph(defaultName, s.deltas)))
-	s.mux.Handle(apiVersion+"/graphs/{name}/deltas", s.handle("deltas", s.withGraph(pathName, s.deltas)))
+	s.mount(apiVersion+"/deltas", s.handle("deltas", s.withGraph(defaultName, s.deltas)))
+	s.mount(apiVersion+"/graphs/{name}/deltas", s.handle("deltas", s.withGraph(pathName, s.deltas)))
 	// Registry surface: the collection listing and the per-graph admin
 	// resource (GET info+stats, PUT snapshot upload, DELETE unregister).
-	s.mux.Handle(apiVersion+"/graphs", s.handle("graphs", s.graphsList))
-	s.mux.Handle(apiVersion+"/graphs/{name}", s.handle("graphs.admin", s.graphAdmin))
+	s.mount(apiVersion+"/graphs", s.handle("graphs", s.graphsList))
+	s.mount(apiVersion+"/graphs/{name}", s.handle("graphs.admin", s.graphAdmin))
+
+	// Async job tier. Results streaming bypasses handle()'s buffered JSON
+	// path — it writes NDJSON incrementally and flushes as rows land.
+	s.mount(apiVersion+"/jobs", s.handle("jobs", s.jobsCollection))
+	s.mount(apiVersion+"/jobs/{id}", s.handle("jobs.job", s.jobResource))
+	s.mount(apiVersion+"/jobs/{id}/results", http.HandlerFunc(s.jobResults))
 
 	hz := s.handle("healthz", s.healthz)
-	s.mux.Handle(apiVersion+"/healthz", hz)
-	s.mux.Handle("/healthz", deprecated(apiVersion+"/healthz", hz))
+	s.mount(apiVersion+"/healthz", hz)
+	s.mount("/healthz", deprecated(apiVersion+"/healthz", hz))
 	st := s.handle("stats", s.stats)
-	s.mux.Handle(apiVersion+"/stats", st)
-	s.mux.Handle("/stats", deprecated(apiVersion+"/stats", st))
+	s.mount(apiVersion+"/stats", st)
+	s.mount("/stats", deprecated(apiVersion+"/stats", st))
 
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -110,6 +127,15 @@ func newServer(rg *registry.Registry, basis *mcb.Result, reg *obs.Registry) *ser
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// mount registers a handler on the mux and records the pattern; the
+// recorded set is what the route-table sync test compares against
+// api.Patterns(). Debug routes register on the mux directly and stay out
+// of the comparison.
+func (s *server) mount(pattern string, h http.Handler) {
+	s.patterns = append(s.patterns, pattern)
+	s.mux.Handle(pattern, h)
 }
 
 // defaultName resolves every unnamed route to the reserved default graph.
@@ -157,12 +183,18 @@ func graphError(err error) error {
 	return &httpError{http.StatusInternalServerError, err}
 }
 
+// legacySunset is the earliest date the unversioned aliases may be
+// removed, per the removal policy in the README (RFC 8594 Sunset).
+const legacySunset = "Thu, 01 Apr 2027 00:00:00 GMT"
+
 // deprecated wraps a legacy unversioned route: same handler, plus the
-// RFC 9745 Deprecation header and a successor-version Link so clients can
+// RFC 9745 Deprecation header, the RFC 8594 Sunset date after which the
+// alias may be removed, and a successor-version Link so clients can
 // discover the /v1 path mechanically.
 func deprecated(successor string, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", legacySunset)
 		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
 		h.ServeHTTP(w, r)
 	})
@@ -177,13 +209,36 @@ type httpError struct {
 func (e *httpError) Error() string { return e.err.Error() }
 func (e *httpError) Unwrap() error { return e.err }
 
+// apiError is an httpError that also pins the envelope's machine-readable
+// code (and, for job-scoped failures, the job id) instead of deriving the
+// code from the status. The job routes use it for job_not_found /
+// job_cancelled / job_failed, which clients dispatch on.
+type apiError struct {
+	status int
+	code   string
+	jobID  string
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+// statusResponse lets a handler in the shared handle() path pick its
+// success status — POST /v1/jobs answers 202 Accepted with it.
+type statusResponse struct {
+	status int
+	body   interface{}
+}
+
 // errorEnvelope is the uniform JSON error body every endpoint returns:
-// a human-readable message, a stable machine-readable code, and — for
-// back-pressure responses only — how long to wait before retrying.
+// a human-readable message, a stable machine-readable code, for
+// back-pressure responses how long to wait before retrying, and for
+// job-scoped errors the job id.
 type errorEnvelope struct {
 	Error        string `json:"error"`
 	Code         string `json:"code"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	JobID        string `json:"job_id,omitempty"`
 }
 
 // jsonBuf is a pooled response encoder: a reusable byte buffer with a
@@ -265,7 +320,12 @@ func (s *server) handle(name string, fn func(r *http.Request) (interface{}, erro
 			status := http.StatusBadRequest
 			env := errorEnvelope{Error: err.Error()}
 			var he *httpError
+			var ae *apiError
 			switch {
+			case errors.As(err, &ae):
+				status = ae.status
+				env.Code = ae.code
+				env.JobID = ae.jobID
 			case errors.As(err, &he):
 				status = he.status
 			case errors.Is(err, qe.ErrOverloaded):
@@ -282,6 +342,10 @@ func (s *server) handle(name string, fn func(r *http.Request) (interface{}, erro
 				env.Code = errorCode(status)
 			}
 			writeJSON(w, status, env)
+			return
+		}
+		if sr, ok := out.(statusResponse); ok {
+			writeJSON(w, sr.status, sr.body)
 			return
 		}
 		writeJSON(w, http.StatusOK, out)

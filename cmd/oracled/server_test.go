@@ -38,7 +38,7 @@ func testServer(t *testing.T) (*server, *graph.Graph, []graph.Weight) {
 		t.Fatal(err)
 	}
 	rg.AddStatic(registry.DefaultGraph, oracle, engine)
-	return newServer(rg, basis, reg), g, apsp.FloydWarshall(g)
+	return newServer(rg, basis, nil, reg), g, apsp.FloydWarshall(g)
 }
 
 // testServerEngine is testServer with an injected engine constructor for
@@ -60,7 +60,7 @@ func testServerEngine(t *testing.T, mk func(g *graph.Graph, o *apsp.Oracle) *qe.
 		t.Fatal(err)
 	}
 	rg.AddStatic(registry.DefaultGraph, oracle, mk(g, oracle))
-	return newServer(rg, basis, reg), g
+	return newServer(rg, basis, nil, reg), g
 }
 
 // liveOracle returns the default graph's currently served oracle (the

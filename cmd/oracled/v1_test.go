@@ -45,12 +45,15 @@ func TestV1LegacyEquivalence(t *testing.T) {
 		if legacy.deprecation != "true" {
 			t.Fatalf("%s: legacy route missing Deprecation header", p)
 		}
+		if legacy.sunset != legacySunset {
+			t.Fatalf("%s: legacy Sunset = %q, want %q", p, legacy.sunset, legacySunset)
+		}
 		if want := fmt.Sprintf("</v1%s>; rel=\"successor-version\"", base); legacy.link != want {
 			t.Fatalf("%s: legacy Link = %q, want %q", p, legacy.link, want)
 		}
-		if v1.deprecation != "" || v1.link != "" {
-			t.Fatalf("/v1%s: versioned route must not carry deprecation headers (got %q, %q)",
-				p, v1.deprecation, v1.link)
+		if v1.deprecation != "" || v1.link != "" || v1.sunset != "" {
+			t.Fatalf("/v1%s: versioned route must not carry deprecation headers (got %q, %q, %q)",
+				p, v1.deprecation, v1.link, v1.sunset)
 		}
 	}
 
@@ -77,9 +80,9 @@ func TestV1LegacyEquivalence(t *testing.T) {
 }
 
 type fetched struct {
-	status            int
-	body              string
-	deprecation, link string
+	status                    int
+	body                      string
+	deprecation, link, sunset string
 }
 
 func fetch(t *testing.T, ts *httptest.Server, path string) fetched {
@@ -93,7 +96,8 @@ func fetch(t *testing.T, ts *httptest.Server, path string) fetched {
 	if err != nil {
 		t.Fatalf("GET %s: read: %v", path, err)
 	}
-	return fetched{resp.StatusCode, string(b), resp.Header.Get("Deprecation"), resp.Header.Get("Link")}
+	return fetched{resp.StatusCode, string(b), resp.Header.Get("Deprecation"),
+		resp.Header.Get("Link"), resp.Header.Get("Sunset")}
 }
 
 // TestErrorEnvelope asserts every failure shape renders as the uniform

@@ -1,0 +1,147 @@
+// Package api is the declarative route table of the /v1 HTTP surface —
+// the single source of truth three consumers share so they cannot drift:
+// cmd/oracled mounts its mux from the expanded patterns, the checked-in
+// api/openapi.yaml is generated from it (cmd/apigen), and CI asserts the
+// generated spec matches the checked-in file while a server test asserts
+// the mounted mux matches the expansion. Editing a route here is the only
+// way to add an endpoint; hand-editing the YAML or the mux fails CI.
+package api
+
+import "sort"
+
+// Param is one documented query parameter.
+type Param struct {
+	Name     string
+	Type     string // OpenAPI schema type: "integer" | "string"
+	Desc     string
+	Required bool
+}
+
+// Op is one method on a route.
+type Op struct {
+	Method  string // GET | POST | PUT | DELETE
+	Summary string
+	Params  []Param
+	// Body names the request-body schema in components ("" = no body).
+	Body string
+	// Response names the 200-response schema in components ("" = untyped
+	// JSON object). Streaming ops set NDJSON instead.
+	Response string
+	NDJSON   bool
+	// Accepted marks ops whose success status is 202 rather than 200.
+	Accepted bool
+}
+
+// Route is one path of the /v1 surface.
+type Route struct {
+	// Path is the /v1 mux pattern, e.g. "/v1/jobs/{id}".
+	Path string
+	Ops  []Op
+	// LegacyAlias is the deprecated unversioned pattern still answering
+	// identically ("" if the route post-dates the legacy API). Aliases
+	// carry Deprecation and Sunset headers; see the README removal
+	// policy.
+	LegacyAlias string
+	// GraphScoped routes are additionally mounted per tenant at
+	// /v1/graphs/{name}<suffix> sharing the same handler.
+	GraphScoped bool
+}
+
+// Routes returns the full /v1 route table.
+func Routes() []Route {
+	uv := []Param{
+		{Name: "u", Type: "integer", Desc: "source vertex id", Required: true},
+		{Name: "v", Type: "integer", Desc: "target vertex id", Required: true},
+	}
+	pageParams := []Param{
+		{Name: "cursor", Type: "string", Desc: "opaque keyset cursor from next_cursor; empty for the first page"},
+		{Name: "limit", Type: "integer", Desc: "page size, 1..1000 (default 100)"},
+	}
+	return []Route{
+		{
+			Path: "/v1/distance", LegacyAlias: "/distance", GraphScoped: true,
+			Ops: []Op{{Method: "GET", Summary: "Shortest-path distance between two vertices", Params: uv, Response: "PairResponse"}},
+		},
+		{
+			Path: "/v1/path", LegacyAlias: "/path", GraphScoped: true,
+			Ops: []Op{{Method: "GET", Summary: "Shortest path between two vertices", Params: uv, Response: "PathResponse"}},
+		},
+		{
+			Path: "/v1/batch", LegacyAlias: "/batch", GraphScoped: true,
+			Ops: []Op{{Method: "POST", Summary: "Synchronous many-to-many distance matrix", Body: "BatchRequest", Response: "BatchResponse"}},
+		},
+		{
+			Path: "/v1/mcb/cycle", LegacyAlias: "/mcb/cycle", GraphScoped: true,
+			Ops: []Op{{Method: "GET", Summary: "One cycle of the minimum cycle basis",
+				Params:   []Param{{Name: "i", Type: "integer", Desc: "cycle index in the basis", Required: true}},
+				Response: "CycleResponse"}},
+		},
+		{
+			Path: "/v1/deltas", GraphScoped: true,
+			Ops: []Op{{Method: "POST", Summary: "Apply an ordered edge-delta script to the live graph", Body: "DeltaRequest", Response: "DeltaResponse"}},
+		},
+		{
+			Path: "/v1/graphs",
+			Ops:  []Op{{Method: "GET", Summary: "List known graphs (cursor-paginated)", Params: pageParams, Response: "GraphListResponse"}},
+		},
+		{
+			Path: "/v1/graphs/{name}",
+			Ops: []Op{
+				{Method: "GET", Summary: "One graph's lifecycle state and scoped metrics", Response: "GraphDetailResponse"},
+				{Method: "PUT", Summary: "Upload or atomically replace the graph's snapshot", Body: "SnapshotUpload", Response: "RegisterResponse"},
+				{Method: "DELETE", Summary: "Unregister the graph and delete its snapshot", Response: "RemoveResponse"},
+			},
+		},
+		{
+			Path: "/v1/jobs",
+			Ops: []Op{
+				{Method: "GET", Summary: "List jobs (cursor-paginated)", Params: pageParams, Response: "JobListResponse"},
+				{Method: "POST", Summary: "Submit an async job (batch_matrix or bc)", Body: "JobSpec", Response: "JobStatus", Accepted: true},
+			},
+		},
+		{
+			Path: "/v1/jobs/{id}",
+			Ops: []Op{
+				{Method: "GET", Summary: "Job status: state, progress fraction, row counters", Response: "JobStatus"},
+				{Method: "DELETE", Summary: "Cancel the job (idempotent on terminal jobs)", Response: "JobStatus"},
+			},
+		},
+		{
+			Path: "/v1/jobs/{id}/results",
+			Ops: []Op{{Method: "GET", Summary: "Stream job results as NDJSON, resumable by byte offset",
+				Params: []Param{{Name: "offset", Type: "integer", Desc: "durable byte offset to resume from (also accepted as Last-Event-ID header)"}},
+				NDJSON: true}},
+		},
+		{
+			Path: "/v1/healthz", LegacyAlias: "/healthz",
+			Ops: []Op{{Method: "GET", Summary: "Liveness and serving summary", Response: "HealthResponse"}},
+		},
+		{
+			Path: "/v1/stats", LegacyAlias: "/stats",
+			Ops: []Op{{Method: "GET", Summary: "All metrics as one JSON object"}},
+		},
+	}
+}
+
+// Patterns returns every mux pattern the daemon must mount for the /v1
+// surface: each route's path, its legacy alias, and its per-tenant
+// expansion. Sorted, deduplicated — directly comparable with the set of
+// patterns the server actually registered.
+func Patterns() []string {
+	set := map[string]bool{}
+	for _, rt := range Routes() {
+		set[rt.Path] = true
+		if rt.LegacyAlias != "" {
+			set[rt.LegacyAlias] = true
+		}
+		if rt.GraphScoped {
+			set["/v1/graphs/{name}"+rt.Path[len("/v1"):]] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,195 @@
+package bc
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+	"repro/internal/snapshot"
+	"repro/internal/sssp"
+)
+
+// Chunked is a resumable betweenness-centrality computation: the same
+// per-source Brandes work-units Parallel and Sampled run, but claimed in
+// caller-sized chunks with the accumulated scores available between
+// chunks. It exists for the async job tier, which needs three things the
+// one-shot entry points cannot give it: progress (Done/Total move after
+// every chunk), cancellation at chunk granularity (RunChunk observes ctx
+// between and inside chunks), and checkpoint/resume (EncodeState persists
+// the partial accumulation so a daemon restart re-runs at most one
+// chunk's worth of sources).
+//
+// A Chunked driven to completion computes exactly the estimator Sampled
+// does (or the exact Parallel result when the source list is AllSources):
+// the same deterministic source list, the same per-source dependencies,
+// the same n/k scaling. Only the floating-point summation order differs —
+// work-units are claimed dynamically across workers, so per-worker
+// accumulators fold in a run-dependent order, exactly as in Parallel.
+//
+// Chunked is not safe for concurrent use; the job runner owns it.
+type Chunked struct {
+	g       *graph.Graph
+	sources []int32
+	scale   float64
+	workers int
+	unit    bool
+
+	scores []float64 // folded contributions of sources[:done], scaled
+	relax  int64
+	done   int
+
+	states []*state
+	accs   [][]float64
+}
+
+// AllSources returns the exact-computation source list 0..n-1.
+func AllSources(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// SampledSources returns the Brandes–Pich sampled source list for a
+// k-sample estimate over n vertices, plus the n/k dependency scale. It is
+// deterministic in (n, k, seed) — the property checkpoint/resume relies
+// on: a restarted job rebuilds the identical list from its persisted spec
+// instead of persisting the list itself. k ≥ n degenerates to the exact
+// AllSources with scale 1, matching Sampled's behaviour.
+func SampledSources(n, k int, seed uint64) ([]int32, float64) {
+	if k >= n {
+		return AllSources(n), 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	rng := gen.NewRNG(seed)
+	perm := rng.Perm(n)
+	return perm[:k], float64(n) / float64(k)
+}
+
+// NewChunked prepares a resumable computation over the given source list.
+// scale multiplies every accumulated dependency (1 for exact, n/k for
+// sampled). The per-worker scratch is allocated up front, so RunChunk
+// itself allocates nothing.
+func NewChunked(g *graph.Graph, sources []int32, scale float64, workers int) *Chunked {
+	if workers < 1 {
+		workers = 1
+	}
+	n := g.NumVertices()
+	c := &Chunked{
+		g:       g,
+		sources: sources,
+		scale:   scale,
+		workers: workers,
+		unit:    sssp.UnitWeights(g),
+		scores:  make([]float64, n),
+		states:  make([]*state, workers),
+		accs:    make([][]float64, workers),
+	}
+	for w := 0; w < workers; w++ {
+		c.states[w] = newState(n)
+		c.accs[w] = make([]float64, n)
+	}
+	return c
+}
+
+// Total returns the number of source work-units.
+func (c *Chunked) Total() int { return len(c.sources) }
+
+// Done returns how many sources have been folded into the scores.
+func (c *Chunked) Done() int { return c.done }
+
+// RunChunk processes up to k further sources in parallel and folds their
+// contributions into the accumulated scores, returning how many sources
+// were completed. On cancellation the whole in-flight chunk is discarded
+// — Done does not advance and the partial per-worker accumulations are
+// zeroed — so a resumed run re-executes the chunk from its start and
+// never double-counts a source.
+func (c *Chunked) RunChunk(ctx context.Context, k int) (int, error) {
+	if k > len(c.sources)-c.done {
+		k = len(c.sources) - c.done
+	}
+	if k <= 0 {
+		return 0, nil
+	}
+	chunk := c.sources[c.done : c.done+k]
+	relax := make([]int64, c.workers)
+	err := hetero.ParallelForCtx(ctx, c.workers, k, func(w, i int) {
+		if c.unit {
+			relax[w] += c.states[w].sourceBFS(c.g, chunk[i], c.accs[w])
+		} else {
+			relax[w] += c.states[w].source(c.g, chunk[i], c.accs[w])
+		}
+	})
+	if err != nil {
+		// Which sources of the chunk completed is indeterminate: discard
+		// everything so the chunk is re-runnable.
+		for w := range c.accs {
+			clear(c.accs[w])
+		}
+		return 0, err
+	}
+	for w := range c.accs {
+		for v, x := range c.accs[w] {
+			if x != 0 {
+				c.scores[v] += x * c.scale
+				c.accs[w][v] = 0
+			}
+		}
+		c.relax += relax[w]
+	}
+	c.done += k
+	return k, nil
+}
+
+// Result returns a copy of the accumulated scores — partial until Done
+// equals Total, final after.
+func (c *Chunked) Result() *Result {
+	out := &Result{Scores: make([]float64, len(c.scores)), Relaxations: c.relax}
+	copy(out.Scores, c.scores)
+	return out
+}
+
+// chunkedStateVersion versions the EncodeState payload.
+const chunkedStateVersion = 1
+
+// EncodeState persists the resumable accumulation (sources completed,
+// forward-phase work counter, folded scores) into a snapshot section. The
+// source list itself is not persisted: it is deterministic in the job
+// spec (AllSources / SampledSources), which the resuming side re-derives.
+func (c *Chunked) EncodeState(e *snapshot.Encoder) {
+	e.U32(chunkedStateVersion)
+	e.I64(int64(c.done))
+	e.I64(c.relax)
+	e.F64s(c.scores)
+}
+
+// RestoreState loads a persisted accumulation into a freshly constructed
+// Chunked. The graph and source list must match the ones the state was
+// encoded under; dimension mismatches are reported as corruption.
+func (c *Chunked) RestoreState(d *snapshot.Decoder) error {
+	if v := d.U32(); d.Err() == nil && v != chunkedStateVersion {
+		return fmt.Errorf("bc: chunked state version %d, this build reads %d: %w",
+			v, chunkedStateVersion, snapshot.ErrVersionSkew)
+	}
+	done := d.I64()
+	relax := d.I64()
+	scores := d.F64s()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if done < 0 || done > int64(len(c.sources)) {
+		return snapshot.Corruptf("bc: chunked state: %d sources done of %d", done, len(c.sources))
+	}
+	if len(scores) != len(c.scores) {
+		return snapshot.Corruptf("bc: chunked state: %d scores for %d vertices", len(scores), len(c.scores))
+	}
+	c.done = int(done)
+	c.relax = relax
+	copy(c.scores, scores)
+	return nil
+}

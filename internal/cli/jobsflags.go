@@ -1,0 +1,32 @@
+package cli
+
+import (
+	"flag"
+
+	"repro/internal/jobs"
+)
+
+// JobsFlags registers the async job tier flags on the default flag set
+// and returns a function resolving them into a jobs.Config after
+// flag.Parse. The returned config carries only what the flags own —
+// Dir, Concurrency, ChunkSize, Workers; the caller supplies the wiring
+// (Host, Known, Reg) before jobs.Open. An empty -jobs-dir leaves the
+// tier disabled.
+func JobsFlags() func() jobs.Config {
+	dir := flag.String("jobs-dir", "",
+		"enable the async job tier, persisting job checkpoints and NDJSON results here (empty = disabled)")
+	conc := flag.Int("job-concurrency", 2,
+		"jobs running at once; queued jobs dispatch fairly round-robin across graphs")
+	chunk := flag.Int("job-chunk", 64,
+		"sources per checkpointed chunk — the replay bound after a crash, and the granularity of progress, cancellation, and admission-control yielding")
+	workers := flag.Int("job-workers", 0,
+		"worker goroutines per running bc job (0 = GOMAXPROCS)")
+	return func() jobs.Config {
+		return jobs.Config{
+			Dir:         *dir,
+			Concurrency: *conc,
+			ChunkSize:   *chunk,
+			Workers:     *workers,
+		}
+	}
+}

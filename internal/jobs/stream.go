@@ -1,0 +1,109 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Stream copies the job's NDJSON results into w, starting at byte offset
+// from, and follows the stream as it grows: whenever more results become
+// durable the new bytes are written through, and the call returns once
+// the job is terminal and every durable byte from the offset on has been
+// delivered. It returns the offset reached — on a clean return the total
+// durable size; on a ctx or write error, the exact resume offset the
+// client should present next time.
+//
+// Offsets are the resume currency: a client that counts the bytes it has
+// received reconnects with that count and the stream continues exactly
+// where it broke, Last-Event-ID style. from must lie on a durable line
+// boundary (0, or just after a '\n' within the durable prefix) —
+// anything else is ErrBadOffset, distinguishing a stale/garbled cursor
+// from an empty tail.
+//
+// A failed or cancelled job streams its durable prefix the same way and
+// then ends; callers that need to distinguish "complete" from "truncated
+// by failure" check the job status, which carries the terminal state and
+// error.
+func (m *Manager) Stream(ctx context.Context, id string, from int64, w io.Writer) (int64, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return 0, ErrUnknownJob
+	}
+
+	f, err := os.Open(m.resultsPath(id))
+	if err != nil {
+		if os.IsNotExist(err) && from == 0 {
+			// No results yet: wait for the stream file to appear by waiting
+			// for durable bytes, then reopen.
+			if err := m.waitDurable(ctx, j, 0); err != nil {
+				return 0, err
+			}
+			if Terminal(j.status().State) && j.status().ResultsBytes == 0 {
+				return 0, nil // terminal with no output at all
+			}
+			f, err = os.Open(m.resultsPath(id))
+			if err != nil {
+				return 0, err
+			}
+		} else if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: offset %d into missing stream", ErrBadOffset, from)
+		} else {
+			return 0, err
+		}
+	}
+	defer f.Close()
+
+	durable := j.status().ResultsBytes
+	if from < 0 || from > durable {
+		return 0, fmt.Errorf("%w: offset %d, durable %d", ErrBadOffset, from, durable)
+	}
+	if from > 0 {
+		var b [1]byte
+		if _, err := f.ReadAt(b[:], from-1); err != nil || b[0] != '\n' {
+			return 0, fmt.Errorf("%w: offset %d is mid-line", ErrBadOffset, from)
+		}
+	}
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		return from, err
+	}
+
+	for {
+		st := j.status()
+		if from < st.ResultsBytes {
+			n, err := io.CopyN(w, f, st.ResultsBytes-from)
+			from += n
+			if err != nil {
+				return from, err
+			}
+			continue
+		}
+		if Terminal(st.State) {
+			return from, nil
+		}
+		if err := m.waitDurable(ctx, j, from); err != nil {
+			return from, err
+		}
+	}
+}
+
+// waitDurable parks until the job's durable offset exceeds from, the job
+// goes terminal, or ctx is done. The wake channel is captured before the
+// re-check, so a broadcast between check and wait is never missed.
+func (m *Manager) waitDurable(ctx context.Context, j *Job, from int64) error {
+	for {
+		ch := j.wakeChan()
+		st := j.status()
+		if st.ResultsBytes > from || Terminal(st.State) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}

@@ -58,34 +58,59 @@ func (s *batchScratch) reset() {
 // On deadline expiry mid-batch the remaining rows are skipped and the
 // context error is returned; no partial matrix is produced.
 func (e *Engine) Batch(ctx context.Context, sources, targets []int32) ([][]graph.Weight, error) {
+	nt := len(targets)
+	out := make([][]graph.Weight, len(sources))
+	flat := make([]graph.Weight, len(sources)*nt)
+	if err := e.BatchFlat(ctx, sources, targets, flat); err != nil {
+		return nil, err
+	}
+	for i := range sources {
+		out[i] = flat[i*nt : (i+1)*nt]
+	}
+	return out, nil
+}
+
+// BatchFlat is Batch writing into a caller-provided row-major matrix:
+// flat[i*len(targets)+j] = d(sources[i], targets[j]). len(flat) must be
+// exactly len(sources)*len(targets). It exists for callers that page
+// through a larger matrix in source chunks — the async job tier streams a
+// full distance matrix by reusing one chunk-sized buffer across
+// BatchFlat calls instead of allocating a fresh matrix per chunk.
+// Admission, the pair cap, caching, dedup, and scheduling behave exactly
+// as in Batch; on error the contents of flat are unspecified.
+func (e *Engine) BatchFlat(ctx context.Context, sources, targets []int32, flat []graph.Weight) error {
 	if e.closed.Load() {
-		return nil, ErrClosed
+		return ErrClosed
+	}
+	if len(flat) != len(sources)*len(targets) {
+		return fmt.Errorf("qe: batch matrix buffer holds %d weights, %d×%d batch needs %d",
+			len(flat), len(sources), len(targets), len(sources)*len(targets))
 	}
 	e.mu.Lock()
 	rs, n := e.src, e.n
 	e.mu.Unlock()
 	for _, u := range sources {
 		if err := e.checkVertex("source", u, n); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, v := range targets {
 		if err := e.checkVertex("target", v, n); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	// The pair cap guards the result-matrix allocation below; check it
+	// The pair cap guards the result-matrix allocation in Batch; check it
 	// before admission so an oversized request cannot occupy a slot. The
 	// division form cannot overflow, unlike the product.
 	if e.maxPairs >= 0 && len(sources) > 0 && len(targets) > 0 &&
 		int64(len(sources)) > e.maxPairs/int64(len(targets)) {
-		return nil, fmt.Errorf("qe: batch %d×%d exceeds %d pairs: %w",
+		return fmt.Errorf("qe: batch %d×%d exceeds %d pairs: %w",
 			len(sources), len(targets), e.maxPairs, ErrBatchTooLarge)
 	}
 	ctx, cancel := e.withDeadline(ctx)
 	defer cancel()
 	if err := e.adm.acquire(ctx); err != nil {
-		return nil, err
+		return err
 	}
 	defer e.adm.release()
 
@@ -106,9 +131,6 @@ func (e *Engine) Batch(ctx context.Context, sources, targets []int32) ([][]graph
 	e.batchPairs.Add(int64(len(sources)) * int64(len(targets)))
 
 	nt := len(targets)
-	out := make([][]graph.Weight, len(sources))
-	flat := make([]graph.Weight, len(sources)*nt)
-
 	if nt > 0 {
 		// Warm pass: copy every cached row into its first-occurrence slot
 		// under the cache's shard lock; collect the rest as misses.
@@ -159,19 +181,16 @@ func (e *Engine) Batch(ctx context.Context, sources, targets []int32) ([][]graph
 		}
 		hetero.HybridRun(sc.units, workers, cpuBatchRows, bigBatchRows, exec, exec)
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("qe: batch abandoned: %w", err)
+			return fmt.Errorf("qe: batch abandoned: %w", err)
 		}
 	}
 
-	// Assembly: duplicate sources copy their distinct row's slot; every
-	// result row is a view into flat.
+	// Assembly: duplicate sources copy their distinct row's slot.
 	for i, u := range sources {
-		dst := flat[i*nt : (i+1)*nt]
 		di, _ := sc.index.Get(u)
 		if fi := int(sc.first[di]); fi != i {
-			copy(dst, flat[fi*nt:(fi+1)*nt])
+			copy(flat[i*nt:(i+1)*nt], flat[fi*nt:(fi+1)*nt])
 		}
-		out[i] = dst
 	}
-	return out, nil
+	return nil
 }

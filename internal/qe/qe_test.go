@@ -246,6 +246,33 @@ func TestBatchAssembly(t *testing.T) {
 	}
 }
 
+// TestBatchFlat: the caller-buffer surface fills a reused chunk buffer
+// with the same values Batch returns, and rejects a mis-sized buffer.
+func TestBatchFlat(t *testing.T) {
+	src := &stubSource{n: 64}
+	e, _ := newTestEngine(src, Config{CacheRows: 64, MaxInflight: 4, QueueDepth: 4})
+
+	targets := []int32{0, 5, 63}
+	flat := make([]graph.Weight, 2*len(targets))
+	// Page through sources in chunks of 2, reusing one buffer — the async
+	// job tier's access pattern.
+	for _, chunk := range [][]int32{{7, 3}, {9, 7}} {
+		if err := e.BatchFlat(context.Background(), chunk, targets, flat); err != nil {
+			t.Fatal(err)
+		}
+		for i, u := range chunk {
+			for j, v := range targets {
+				if want := graph.Weight(int(u)*1000 + int(v)); flat[i*len(targets)+j] != want {
+					t.Fatalf("chunk %v: flat[%d][%d] = %v, want %v", chunk, i, j, flat[i*len(targets)+j], want)
+				}
+			}
+		}
+	}
+	if err := e.BatchFlat(context.Background(), []int32{1, 2, 3}, targets, flat); err == nil {
+		t.Fatal("mis-sized buffer accepted")
+	}
+}
+
 // TestBatchEmpty: degenerate shapes are fine.
 func TestBatchEmpty(t *testing.T) {
 	src := &stubSource{n: 4}

@@ -257,6 +257,13 @@ func (e *Encoder) F32s(s []float32) {
 	}
 }
 
+// Str appends a length-prefixed byte string (job metadata: identifiers,
+// kind tags, terminal error messages).
+func (e *Encoder) Str(s string) {
+	e.U64(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
 // Bools appends a length-prefixed bit-packed bool slice.
 func (e *Encoder) Bools(s []bool) {
 	e.U64(uint64(len(s)))
@@ -414,6 +421,16 @@ func (d *Decoder) F32s() []float32 {
 		out[i] = d.F32()
 	}
 	return out
+}
+
+// Str reads a length-prefixed byte string.
+func (d *Decoder) Str() string {
+	n := d.Count(1)
+	if d.err != nil {
+		return ""
+	}
+	b := d.take(n, "string")
+	return string(b)
 }
 
 // Bools reads a length-prefixed bit-packed bool slice.

@@ -247,3 +247,44 @@ func TestF32RoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestStrRoundTrip(t *testing.T) {
+	w := NewWriter()
+	e := w.Section("strs")
+	e.Str("")
+	e.Str("batch_matrix")
+	e.Str("qe: overloaded, admission queue full")
+	e.Str("héllo\x00world") // arbitrary bytes, embedded NUL included
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	d, err := r.Section("strs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"", "batch_matrix", "qe: overloaded, admission queue full", "héllo\x00world"} {
+		if got := d.Str(); got != want {
+			t.Errorf("Str() = %q, want %q", got, want)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestStrTruncated(t *testing.T) {
+	// A declared length longer than the remaining bytes is the sticky
+	// typed error, never a huge allocation or panic.
+	d := &Decoder{b: binary.LittleEndian.AppendUint64(nil, 1<<40)}
+	if got := d.Str(); got != "" {
+		t.Fatalf("truncated Str() = %q", got)
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("Err() = %v, want ErrCorrupt", d.Err())
+	}
+}

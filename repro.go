@@ -29,6 +29,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/hetero"
+	"repro/internal/jobs"
 	"repro/internal/mcb"
 	"repro/internal/obs"
 	"repro/internal/qe"
@@ -320,6 +321,44 @@ func OpenRegistry(cfg RegistryConfig) (*Registry, error) { return registry.Open(
 func RegistryLimitsFromConfig(cfg EngineConfig) RegistryLimits {
 	return registry.LimitsFromConfig(cfg)
 }
+
+// Async jobs: persistent whole-graph computations (distance-matrix slabs,
+// betweenness centrality) with checkpoint/resume and streaming NDJSON
+// results. cmd/oracled serves this tier over /v1/jobs; the same manager
+// embeds directly.
+type (
+	// JobsManager owns a directory of durable jobs: submission, fair
+	// per-graph dispatch, checkpointing, result streaming, and
+	// crash-resume on Open.
+	JobsManager = jobs.Manager
+	// JobsConfig configures OpenJobs. Host resolves graph names to
+	// engine-bearing references (a registry Acquire adapts directly);
+	// Dir is where checkpoints and result streams live.
+	JobsConfig = jobs.Config
+	// JobSpec describes one submitted job (kind batch_matrix or bc).
+	JobSpec = jobs.Spec
+	// JobStatus is one job's externally visible state: lifecycle state,
+	// progress fraction, row counters, durable result bytes.
+	JobStatus = jobs.Status
+	// JobGraphRef is the graph handle a jobs Host returns; held for a
+	// job's whole run so eviction drains behind it.
+	JobGraphRef = jobs.GraphRef
+)
+
+// Job kinds and terminal-state predicate.
+const (
+	JobKindBatchMatrix = jobs.KindBatchMatrix
+	JobKindBC          = jobs.KindBC
+)
+
+// JobTerminal reports whether a job state is final (completed, failed,
+// or cancelled).
+func JobTerminal(state string) bool { return jobs.Terminal(state) }
+
+// OpenJobs opens (or recovers) a job manager over cfg.Dir: interrupted
+// jobs found on disk re-enter the queue and resume from their
+// checkpoints.
+func OpenJobs(cfg JobsConfig) (*JobsManager, error) { return jobs.Open(cfg) }
 
 // Observability.
 type (
