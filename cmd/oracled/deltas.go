@@ -120,7 +120,14 @@ func (s *server) deltas(e *registry.Entry, r *http.Request) (interface{}, error)
 	s.deltaMu.Lock()
 	defer s.deltaMu.Unlock()
 
-	next, res, err := e.Oracle().ApplyDelta(r.Context(), ds)
+	o := e.Oracle()
+	if o == nil {
+		// A cluster frontend holds no local oracle to mutate; deltas in a
+		// sharded deployment mean re-planning and restarting the shards.
+		return nil, &httpError{http.StatusServiceUnavailable,
+			fmt.Errorf("deltas are not available on a cluster frontend: re-plan with cmd/shardplan and roll the shards")}
+	}
+	next, res, err := o.ApplyDelta(r.Context(), ds)
 	if err != nil {
 		if errors.Is(err, apsp.ErrBadDelta) {
 			return nil, err // 400 bad_request, nothing applied

@@ -58,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -70,6 +71,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/qe"
 	"repro/internal/registry"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -85,22 +87,32 @@ func main() {
 		loadSnap  = flag.String("load-snapshot", "", "serve from an oracle snapshot, skipping the build entirely (replaces -file/-dataset)")
 		saveChain = flag.String("save-delta-chain", "", "persist base oracle + applied /v1/deltas scripts to this file after every apply")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		shardSnap = flag.String("shard-snapshot", "",
+			"serve one cluster shard from this shard snapshot (internal row RPC only; written by cmd/shardplan)")
+		clusterPlan = flag.String("cluster-plan", "",
+			"serve as a cluster frontend routing by this plan manifest (requires -cluster-shards)")
+		clusterShards = flag.String("cluster-shards", "",
+			"comma-separated shard daemon base URLs, one per plan shard, in shard order")
 	)
 	engineCfg := cli.EngineFlags()
 	registryCfg := cli.RegistryFlags(engineCfg)
 	jobsCfg := cli.JobsFlags()
-	cli.SetUsage("oracled", "[-file graph | -dataset name | -load-snapshot file | -snapshot-dir dir] [-addr host:port] [flags]")
+	shardCfg := cli.ShardFlags()
+	cli.SetUsage("oracled", "[-file graph | -dataset name | -load-snapshot file | -snapshot-dir dir | -shard-snapshot file | -cluster-plan file -cluster-shards urls] [-addr host:port] [flags]")
 	flag.Parse()
 
 	rcfg := registryCfg()
 	if err := validateServeOpts(serveOpts{
-		snapshotDir: rcfg.Dir,
-		file:        *file,
-		dataset:     *dataset,
-		loadSnap:    *loadSnap,
-		saveSnap:    *saveSnap,
-		saveChain:   *saveChain,
-		withMCB:     *withMCB,
+		snapshotDir:   rcfg.Dir,
+		file:          *file,
+		dataset:       *dataset,
+		loadSnap:      *loadSnap,
+		saveSnap:      *saveSnap,
+		saveChain:     *saveChain,
+		shardSnap:     *shardSnap,
+		clusterPlan:   *clusterPlan,
+		clusterShards: *clusterShards,
+		withMCB:       *withMCB,
 	}); err != nil {
 		cli.BadUsage("oracled", err.Error())
 	}
@@ -113,8 +125,16 @@ func main() {
 	obs.Default.Publish("obs")
 	rcfg.Reg = obs.Default
 
+	// Shard mode is a different daemon shape entirely: no /v1 surface, no
+	// registry — just the internal row RPC over one shard snapshot.
+	if *shardSnap != "" {
+		runShardMode(ctx, *addr, *shardSnap, *drain)
+		return
+	}
+
 	var basis *mcb.Result
 	var rg *registry.Registry
+	var remote *shard.RemoteSource
 	if rcfg.Dir != "" {
 		// Multi-tenant mode: every <name>.snap in the directory is a named
 		// graph, hydrated lazily on its first query.
@@ -125,6 +145,30 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "oracled: multi-tenant: %d snapshots in %s (max %d resident) — hydration is lazy\n",
 			len(rg.List()), rcfg.Dir, rg.MaxGraphs())
+	} else if *clusterPlan != "" {
+		// Frontend mode: no local oracle at all. Rows come from the shard
+		// daemons through the fan-out source; the engine stack (cache,
+		// coalescing, admission) applies to it unchanged.
+		plan := loadClusterPlan(*clusterPlan)
+		scfg := shardCfg()
+		scfg.Plan = plan
+		scfg.Addrs = splitShardAddrs(*clusterShards)
+		scfg.Reg = obs.Default
+		var err error
+		remote, err = shard.NewRemoteSource(scfg)
+		if err != nil {
+			cli.Fatalf("oracled", "cluster frontend: %v", err)
+		}
+		cfg := engineCfg()
+		cfg.Reg = obs.Default
+		engine := qe.New(remote, cfg)
+		rg, err = registry.Open(rcfg) // Dir "": static-only, serves exactly the frontend entry
+		if err != nil {
+			cli.Fatalf("oracled", "%v", err)
+		}
+		rg.AddRemote(registry.DefaultGraph, engine, plan.NumVertices)
+		fmt.Fprintf(os.Stderr, "oracled: cluster frontend: plan epoch %d, %d vertices, %d blocks over %d shards\n",
+			plan.Epoch, plan.NumVertices, plan.NumBlocks(), plan.NumShards)
 	} else {
 		// Single-graph mode: build (or snapshot-load) one oracle and pin it
 		// as the registry's default graph. Its engine metrics stay at the
@@ -199,6 +243,9 @@ func main() {
 	}
 
 	s := newServer(rg, basis, jm, obs.Default)
+	if remote != nil {
+		s.enableCluster(remote)
+	}
 	if *saveChain != "" {
 		base, err := rg.Acquire(ctx, registry.DefaultGraph)
 		if err != nil {
@@ -231,6 +278,9 @@ func main() {
 	}
 	rg.Close(cctx)
 	cancel()
+	if remote != nil {
+		remote.Close() // stops the health prober after the last query drains
+	}
 	fmt.Fprintln(os.Stderr, "oracled: drained, bye")
 }
 
@@ -238,6 +288,7 @@ func main() {
 // rather than positional parameters so the fail-fast tests read clearly.
 type serveOpts struct {
 	snapshotDir, file, dataset, loadSnap, saveSnap, saveChain string
+	shardSnap, clusterPlan, clusterShards                     string
 	withMCB                                                   bool
 }
 
@@ -249,6 +300,28 @@ type serveOpts struct {
 // (many graphs, none of them "the" graph), so every single-graph source
 // and persistence flag conflicts with it.
 func validateServeOpts(o serveOpts) error {
+	if o.shardSnap != "" {
+		switch {
+		case o.clusterPlan != "" || o.clusterShards != "":
+			return fmt.Errorf("-shard-snapshot serves one shard's row RPC; the frontend flags (-cluster-plan/-cluster-shards) belong to a different daemon")
+		case o.file != "" || o.dataset != "" || o.loadSnap != "" || o.snapshotDir != "":
+			return fmt.Errorf("-shard-snapshot is the shard's only graph source; it cannot be combined with -file, -dataset, -load-snapshot, or -snapshot-dir")
+		case o.withMCB || o.saveSnap != "" || o.saveChain != "":
+			return fmt.Errorf("a shard daemon serves block rows only; -mcb, -save-snapshot, and -save-delta-chain do not apply")
+		}
+	}
+	if o.clusterPlan != "" {
+		switch {
+		case o.clusterShards == "":
+			return fmt.Errorf("-cluster-plan needs -cluster-shards: one shard base URL per plan shard, comma-separated, in shard order")
+		case o.file != "" || o.dataset != "" || o.loadSnap != "" || o.snapshotDir != "":
+			return fmt.Errorf("-cluster-plan serves rows from the shard daemons; it cannot be combined with -file, -dataset, -load-snapshot, or -snapshot-dir")
+		case o.withMCB || o.saveSnap != "" || o.saveChain != "":
+			return fmt.Errorf("a cluster frontend holds no local oracle; -mcb, -save-snapshot, and -save-delta-chain do not apply")
+		}
+	} else if o.clusterShards != "" {
+		return fmt.Errorf("-cluster-shards without -cluster-plan: the shard list is meaningless without the plan manifest")
+	}
 	if o.loadSnap != "" && (o.file != "" || o.dataset != "") {
 		return fmt.Errorf("-load-snapshot replaces -file/-dataset; do not combine them")
 	}
@@ -268,6 +341,36 @@ func validateServeOpts(o serveOpts) error {
 		return fmt.Errorf("-mcb needs a graph source: give -file, -dataset, or -load-snapshot")
 	}
 	return nil
+}
+
+// loadClusterPlan reads the frontend's plan manifest, exiting with a
+// diagnostic on corruption or version skew.
+func loadClusterPlan(path string) *shard.Plan {
+	f, err := os.Open(path)
+	if err != nil {
+		cli.Fatalf("oracled", "cluster plan: %v", err)
+	}
+	defer f.Close()
+	p, err := shard.ReadPlan(f)
+	if err != nil {
+		cli.Fatalf("oracled", "cluster plan %s: %v", path, err)
+	}
+	return p
+}
+
+// splitShardAddrs parses the -cluster-shards list; position i is shard
+// i's base URL, so order matters and empty elements are an error.
+func splitShardAddrs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			cli.Fatalf("oracled", "-cluster-shards has an empty element in %q", s)
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // loadOracleSnapshot restores a served oracle from an oracle snapshot

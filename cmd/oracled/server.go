@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/qe"
 	"repro/internal/registry"
+	"repro/internal/shard"
 )
 
 // maxBatchBody bounds one /batch request's JSON body; the N×M result
@@ -44,6 +45,11 @@ type server struct {
 	// jobs is the async tier (nil on daemons started without -jobs-dir;
 	// the /v1/jobs routes then answer 503 unavailable).
 	jobs *jobs.Manager
+
+	// cluster is the frontend's fan-out row source (nil on daemons that
+	// are not cluster frontends; the /v1/cluster routes then answer 503
+	// unavailable). Set once via enableCluster before serving starts.
+	cluster *shard.RemoteSource
 
 	// mu guards basis (pointer swap only). The basis describes the
 	// default graph as built at boot; a successful delta apply against
@@ -112,6 +118,12 @@ func newServer(rg *registry.Registry, basis *mcb.Result, jm *jobs.Manager, reg *
 	s.mount(apiVersion+"/jobs", s.handle("jobs", s.jobsCollection))
 	s.mount(apiVersion+"/jobs/{id}", s.handle("jobs.job", s.jobResource))
 	s.mount(apiVersion+"/jobs/{id}/results", http.HandlerFunc(s.jobResults))
+
+	// Cluster surface: plan identity and shard health on frontends;
+	// 503 unavailable everywhere else, like the jobs routes without a
+	// manager.
+	s.mount(apiVersion+"/cluster", s.handle("cluster", s.clusterList))
+	s.mount(apiVersion+"/cluster/shards/{id}", s.handle("cluster.shard", s.clusterShard))
 
 	hz := s.handle("healthz", s.healthz)
 	s.mount(apiVersion+"/healthz", hz)
@@ -232,13 +244,16 @@ type statusResponse struct {
 
 // errorEnvelope is the uniform JSON error body every endpoint returns:
 // a human-readable message, a stable machine-readable code, for
-// back-pressure responses how long to wait before retrying, and for
-// job-scoped errors the job id.
+// back-pressure responses how long to wait before retrying, for
+// job-scoped errors the job id, and for shard-scoped failures on a
+// cluster frontend the failing shard's id (a pointer, so shard 0
+// serialises while non-shard errors omit the field).
 type errorEnvelope struct {
 	Error        string `json:"error"`
 	Code         string `json:"code"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 	JobID        string `json:"job_id,omitempty"`
+	ShardID      *int32 `json:"shard_id,omitempty"`
 }
 
 // jsonBuf is a pooled response encoder: a reusable byte buffer with a
@@ -321,6 +336,7 @@ func (s *server) handle(name string, fn func(r *http.Request) (interface{}, erro
 			env := errorEnvelope{Error: err.Error()}
 			var he *httpError
 			var ae *apiError
+			var se *shard.Error
 			switch {
 			case errors.As(err, &ae):
 				status = ae.status
@@ -328,6 +344,22 @@ func (s *server) handle(name string, fn func(r *http.Request) (interface{}, erro
 				env.JobID = ae.jobID
 			case errors.As(err, &he):
 				status = he.status
+			case errors.As(err, &se):
+				// A shard fan-out failed: the answer is unavailable, not
+				// wrong. 503 + Retry-After like load shedding, with the
+				// failing shard pinned in the envelope so operators can
+				// find it without grepping logs. Epoch skew keeps its own
+				// code — retrying helps only after a plan rollout settles.
+				sid := se.Shard
+				env.ShardID = &sid
+				if errors.Is(err, shard.ErrEpochMismatch) {
+					env.Code = "plan_epoch_mismatch"
+				} else {
+					env.Code = "shard_unavailable"
+				}
+				w.Header().Set("Retry-After", "1")
+				env.RetryAfterMS = 1000
+				status = http.StatusServiceUnavailable
 			case errors.Is(err, qe.ErrOverloaded):
 				// Load shedding is explicit back-pressure, not a server
 				// fault: tell well-behaved clients when to come back.
@@ -455,7 +487,15 @@ func (s *server) path(e *registry.Entry, r *http.Request) (interface{}, error) {
 	if err != nil {
 		return nil, err
 	}
-	walk, err := e.Oracle().PathChecked(u, v)
+	o := e.Oracle()
+	if o == nil {
+		// A cluster frontend has distances but no local ear reductions to
+		// walk; path reconstruction needs a shard-side witness protocol
+		// that does not exist yet.
+		return nil, &httpError{http.StatusServiceUnavailable,
+			fmt.Errorf("path reconstruction is not available on a cluster frontend; query a shard-backed monolith")}
+	}
+	walk, err := o.PathChecked(u, v)
 	if err != nil {
 		return nil, &httpError{http.StatusInternalServerError, err}
 	}

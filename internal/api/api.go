@@ -93,6 +93,16 @@ func Routes() []Route {
 			},
 		},
 		{
+			Path: "/v1/cluster",
+			Ops: []Op{{Method: "GET", Summary: "Cluster plan identity and shard health (cursor-paginated)",
+				Params: pageParams, Response: "ClusterResponse"}},
+		},
+		{
+			Path: "/v1/cluster/shards/{id}",
+			Ops: []Op{{Method: "GET", Summary: "One shard's address, health, and block ownership",
+				Response: "ShardDetailResponse"}},
+		},
+		{
 			Path: "/v1/jobs",
 			Ops: []Op{
 				{Method: "GET", Summary: "List jobs (cursor-paginated)", Params: pageParams, Response: "JobListResponse"},

@@ -196,9 +196,10 @@ type prop struct{ name, typ, desc, items string }
 var schemas = map[string][]prop{
 	"ErrorEnvelope": {
 		{name: "error", typ: "string", desc: "human-readable message"},
-		{name: "code", typ: "string", desc: "stable machine-readable code (bad_request, not_found, overloaded, job_not_found, job_cancelled, job_failed, ...)"},
+		{name: "code", typ: "string", desc: "stable machine-readable code (bad_request, not_found, overloaded, job_not_found, job_cancelled, job_failed, shard_unavailable, plan_epoch_mismatch, ...)"},
 		{name: "retry_after_ms", typ: "integer", desc: "present only on back-pressure responses"},
 		{name: "job_id", typ: "string", desc: "present on job-scoped errors"},
+		{name: "shard_id", typ: "integer", desc: "present on shard-scoped errors from a cluster frontend (shard_unavailable, plan_epoch_mismatch)"},
 	},
 	"PairResponse": {
 		{name: "u", typ: "integer"},
@@ -305,5 +306,29 @@ var schemas = map[string][]prop{
 		{name: "items", typ: "array", items: "#/components/schemas/JobStatus"},
 		{name: "next_cursor", typ: "string", desc: "empty/absent on the last page"},
 		{name: "total", typ: "integer"},
+	},
+	"ClusterResponse": {
+		{name: "epoch", typ: "integer", desc: "plan epoch the frontend routes and stitches by"},
+		{name: "num_shards", typ: "integer"},
+		{name: "blocks", typ: "integer", desc: "biconnected blocks in the plan"},
+		{name: "vertices", typ: "integer"},
+		{name: "items", typ: "array", items: "#/components/schemas/ShardStatus"},
+		{name: "next_cursor", typ: "string", desc: "empty/absent on the last page"},
+		{name: "total", typ: "integer", desc: "total shard count"},
+	},
+	"ShardStatus": {
+		{name: "id", typ: "integer"},
+		{name: "addr", typ: "string", desc: "shard daemon base URL"},
+		{name: "healthy", typ: "boolean", desc: "from fetch outcomes and the active prober"},
+		{name: "blocks", typ: "integer", desc: "blocks this shard owns"},
+		{name: "last_error", typ: "string", desc: "last failure observed against this shard; absent when healthy"},
+	},
+	"ShardDetailResponse": {
+		{name: "id", typ: "integer"},
+		{name: "addr", typ: "string"},
+		{name: "healthy", typ: "boolean"},
+		{name: "blocks", typ: "integer"},
+		{name: "last_error", typ: "string"},
+		{name: "epoch", typ: "integer", desc: "plan epoch the frontend routes by"},
 	},
 }

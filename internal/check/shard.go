@@ -1,0 +1,145 @@
+package check
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/apsp"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/qe"
+	"repro/internal/shard"
+)
+
+// shardCluster is an in-process serving cluster carved from one oracle:
+// one httptest daemon per shard plus the frontend's fan-out source, the
+// whole sharded serving path exercised over real HTTP.
+type shardCluster struct {
+	plan    *shard.Plan
+	servers []*httptest.Server
+	src     *shard.RemoteSource
+}
+
+func (c *shardCluster) close() {
+	if c.src != nil {
+		c.src.Close()
+	}
+	for _, ts := range c.servers {
+		if ts != nil {
+			ts.Close()
+		}
+	}
+}
+
+// newShardCluster plans o into the given shard count and boots the
+// cluster, round-tripping the manifest and every shard snapshot through
+// their wire encodings so the test covers what production loads, not
+// in-memory shortcuts.
+func newShardCluster(o *apsp.Oracle, shards int) (*shardCluster, error) {
+	p, err := shard.PlanShards(o, shard.PlanOptions{Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	var mbuf bytes.Buffer
+	if _, err := p.WriteTo(&mbuf); err != nil {
+		return nil, err
+	}
+	if p, err = shard.ReadPlan(bytes.NewReader(mbuf.Bytes())); err != nil {
+		return nil, err
+	}
+	c := &shardCluster{plan: p}
+	addrs := make([]string, p.NumShards)
+	for s := int32(0); s < p.NumShards; s++ {
+		var buf bytes.Buffer
+		meta := apsp.ShardMeta{Epoch: p.Epoch, Shard: s, NumShards: p.NumShards}
+		if _, err := o.WriteShardSnapshot(&buf, meta, p.OwnedMask(s)); err != nil {
+			c.close()
+			return nil, err
+		}
+		sb, err := apsp.ReadShardSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		shard.NewHandler(sb).Register(mux)
+		ts := httptest.NewServer(mux)
+		c.servers = append(c.servers, ts)
+		addrs[s] = ts.URL
+	}
+	c.src, err = shard.NewRemoteSource(shard.SourceConfig{
+		Plan: p, Addrs: addrs, MaxRetries: -1, Reg: obs.NewRegistry(),
+	})
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// ShardEquivalence asserts that a sharded frontend answers Query and
+// Batch byte-identically to a monolith engine over the same graph: it
+// builds one oracle, carves it into the given shard count behind real
+// HTTP shard daemons, runs the full n×n distance matrix plus point
+// queries through both qe.Engine stacks, and compares every float
+// bit-for-bit (Inf included). A nil return means no pair diverged.
+func ShardEquivalence(g *graph.Graph, shards int) error {
+	n := g.NumVertices()
+	o := apsp.NewOracle(g)
+	c, err := newShardCluster(o, shards)
+	if err != nil {
+		return err
+	}
+	defer c.close()
+
+	ctx := context.Background()
+	mono := qe.New(o, qe.Config{CacheRows: 64, Reg: obs.NewRegistry()})
+	front := qe.New(c.src, qe.Config{CacheRows: 64, Reg: obs.NewRegistry()})
+	defer mono.Close(ctx)
+	defer front.Close(ctx)
+	if n == 0 {
+		return nil
+	}
+
+	verts := make([]int32, n)
+	for i := range verts {
+		verts[i] = int32(i)
+	}
+	want, err := mono.Batch(ctx, verts, verts)
+	if err != nil {
+		return fmt.Errorf("monolith batch: %w", err)
+	}
+	got, err := front.Batch(ctx, verts, verts)
+	if err != nil {
+		return fmt.Errorf("sharded batch (%d shards): %w", shards, err)
+	}
+	for u := range want {
+		for v := range want[u] {
+			if math.Float64bits(float64(got[u][v])) != math.Float64bits(float64(want[u][v])) {
+				return fmt.Errorf("sharded batch (%d shards) diverges at (%d,%d): %v, monolith %v",
+					shards, u, v, got[u][v], want[u][v])
+			}
+		}
+	}
+	// Point queries go through the row-cache path the batch above warmed
+	// plus a couple of cold pairs; same bit-identity contract.
+	for _, uv := range [][2]int32{{0, int32(n - 1)}, {int32(n / 2), 0}, {int32(n - 1), int32(n / 2)}} {
+		dm, err := mono.Query(ctx, uv[0], uv[1])
+		if err != nil {
+			return fmt.Errorf("monolith query(%d,%d): %w", uv[0], uv[1], err)
+		}
+		ds, err := front.Query(ctx, uv[0], uv[1])
+		if err != nil {
+			return fmt.Errorf("sharded query(%d,%d): %w", uv[0], uv[1], err)
+		}
+		if math.Float64bits(float64(dm)) != math.Float64bits(float64(ds)) {
+			return fmt.Errorf("sharded query (%d shards) diverges at (%d,%d): %v, monolith %v",
+				shards, uv[0], uv[1], ds, dm)
+		}
+	}
+	return nil
+}

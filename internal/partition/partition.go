@@ -16,6 +16,18 @@ import (
 // vertices to the neighbouring part that most reduces the edge cut, subject
 // to a ±25% balance constraint.
 func Partition(g *graph.Graph, k int, refinePasses int) []int32 {
+	return PartitionWeighted(g, k, refinePasses, nil)
+}
+
+// PartitionWeighted is Partition balancing vertex weights instead of
+// vertex counts: the ±25% balance constraint applies to each part's
+// total weight. A nil weights slice means unit weights (identical to
+// Partition). The shard planner uses it to balance per-block serving
+// cost — a block's distance-table size — across shards, where counting
+// blocks alone would let one giant biconnected component dominate a
+// shard. Non-positive weights are treated as 1 so empty parts cannot
+// absorb everything.
+func PartitionWeighted(g *graph.Graph, k int, refinePasses int, weights []int64) []int32 {
 	n := g.NumVertices()
 	part := make([]int32, n)
 	if k <= 1 || n == 0 {
@@ -24,6 +36,20 @@ func Partition(g *graph.Graph, k int, refinePasses int) []int32 {
 	if k > n {
 		k = n
 	}
+	wt := func(v int32) int64 { return 1 }
+	var total int64 = int64(n)
+	if weights != nil {
+		wt = func(v int32) int64 {
+			if int(v) < len(weights) && weights[v] > 0 {
+				return weights[v]
+			}
+			return 1
+		}
+		total = 0
+		for v := int32(0); v < int32(n); v++ {
+			total += wt(v)
+		}
+	}
 	seeds := farthestPointSeeds(g, k)
 	for i := range part {
 		part[i] = -1
@@ -31,17 +57,31 @@ func Partition(g *graph.Graph, k int, refinePasses int) []int32 {
 	// Multi-source BFS: each seed claims unlabelled vertices in rounds, one
 	// frontier layer per round, which keeps part sizes near-equal.
 	frontiers := make([][]int32, k)
-	sizes := make([]int, k)
+	sizes := make([]int64, k) // total weight per part
+	counts := make([]int, k)  // vertices per part (parts must stay non-empty)
 	for i, s := range seeds {
 		part[s] = int32(i)
 		frontiers[i] = []int32{s}
-		sizes[i]++
+		sizes[i] += wt(s)
+		counts[i]++
 	}
 	adj := g.AdjNode()
 	remaining := n - k
+	// Weighted growth is quota-gated: a part at or over its weight share
+	// pauses (its frontier is kept) while lighter parts keep claiming, so
+	// one heavy vertex cannot drag half the graph into its part. If every
+	// growing part is gated or stuck, the gate lifts and growth resumes —
+	// adjacency-respecting coverage beats a perfect quota. Unit weights
+	// never gate (quota ≥ n/k is only reached as growth finishes), keeping
+	// the unweighted path's labels unchanged.
+	gated := weights != nil
+	quota := total/int64(k) + 1
 	for remaining > 0 {
 		progress := false
 		for p := 0; p < k; p++ {
+			if gated && sizes[p] >= quota {
+				continue // paused at quota; frontier kept for a later lift
+			}
 			var next []int32
 			for _, v := range frontiers[p] {
 				lo, hi := g.AdjacencyRange(v)
@@ -49,7 +89,8 @@ func Partition(g *graph.Graph, k int, refinePasses int) []int32 {
 					u := adj[i]
 					if part[u] < 0 {
 						part[u] = int32(p)
-						sizes[p]++
+						sizes[p] += wt(u)
+						counts[p]++
 						remaining--
 						next = append(next, u)
 						progress = true
@@ -59,7 +100,11 @@ func Partition(g *graph.Graph, k int, refinePasses int) []int32 {
 			frontiers[p] = next
 		}
 		if !progress {
-			// disconnected leftovers: assign to the smallest part
+			if gated {
+				gated = false
+				continue
+			}
+			// disconnected leftovers: assign to the lightest part
 			for v := int32(0); v < int32(n); v++ {
 				if part[v] < 0 {
 					smallest := 0
@@ -69,7 +114,8 @@ func Partition(g *graph.Graph, k int, refinePasses int) []int32 {
 						}
 					}
 					part[v] = int32(smallest)
-					sizes[smallest]++
+					sizes[smallest] += wt(v)
+					counts[smallest]++
 					remaining--
 				}
 			}
@@ -77,7 +123,8 @@ func Partition(g *graph.Graph, k int, refinePasses int) []int32 {
 	}
 	// Refinement: move boundary vertices toward the majority part of their
 	// neighbourhood when it reduces the cut and keeps balance.
-	maxSize := n/k + n/(4*k) + 1
+	kk := int64(k)
+	maxSize := total/kk + total/(4*kk) + 1
 	gain := make([]int, k)
 	for pass := 0; pass < refinePasses; pass++ {
 		moved := 0
@@ -92,17 +139,19 @@ func Partition(g *graph.Graph, k int, refinePasses int) []int32 {
 			}
 			best := cur
 			for p := int32(0); p < int32(k); p++ {
-				if p == cur || sizes[p] >= maxSize {
+				if p == cur || sizes[p]+wt(v) > maxSize {
 					continue
 				}
 				if gain[p] > gain[best] {
 					best = p
 				}
 			}
-			if best != cur && sizes[cur] > 1 {
+			if best != cur && counts[cur] > 1 {
 				part[v] = best
-				sizes[cur]--
-				sizes[best]++
+				sizes[cur] -= wt(v)
+				sizes[best] += wt(v)
+				counts[cur]--
+				counts[best]++
 				moved++
 			}
 		}

@@ -184,3 +184,57 @@ func TestPartitionSingleVertexAndEmpty(t *testing.T) {
 		t.Fatalf("empty graph: %v", got)
 	}
 }
+
+// TestPartitionWeighted: a heavily skewed weight vector still yields a
+// weight-balanced partition, and nil weights reproduce Partition exactly.
+func TestPartitionWeighted(t *testing.T) {
+	cfg := gen.Config{MaxWeight: 5}
+	rng := gen.NewRNG(7)
+	g := gen.TriangulatedGrid(10, 10, cfg, rng)
+	n := g.NumVertices()
+
+	// nil weights must be bit-identical to the unweighted partitioner.
+	a := Partition(g, 4, 4)
+	b := PartitionWeighted(g, 4, 4, nil)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("nil-weight PartitionWeighted diverges from Partition at %d", v)
+		}
+	}
+
+	// One corner vertex weighs as much as the rest of the graph; balance
+	// must hold on total weight, so its part stays small in weight terms.
+	weights := make([]int64, n)
+	var total int64
+	for v := range weights {
+		weights[v] = 1
+		total++
+	}
+	weights[0] = int64(n)
+	total += int64(n) - 1
+	part := PartitionWeighted(g, 2, 6, weights)
+	var w0, w1 int64
+	for v, p := range part {
+		if p == 0 {
+			w0 += weights[v]
+		} else {
+			w1 += weights[v]
+		}
+	}
+	if w0 == 0 || w1 == 0 {
+		t.Fatalf("weighted partition left a part empty: %d/%d", w0, w1)
+	}
+	// The refinement cap is total/k + total/(4k) + 1; allow generous slack
+	// for the pre-refinement growth phase, but the heavy vertex's part must
+	// not also absorb most of the light vertices.
+	heavy := part[0]
+	lightInHeavy := 0
+	for v := 1; v < n; v++ {
+		if part[v] == heavy {
+			lightInHeavy++
+		}
+	}
+	if lightInHeavy > n/2 {
+		t.Fatalf("heavy part also holds %d of %d light vertices", lightInHeavy, n-1)
+	}
+}

@@ -3,6 +3,7 @@ package qe
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/ds"
 	"repro/internal/graph"
@@ -159,12 +160,31 @@ func (e *Engine) BatchFlat(ctx context.Context, sources, targets []int32, flat [
 		if workers < 1 {
 			workers = 1
 		}
+		// One failed row build fails the whole batch: a partial matrix is
+		// indistinguishable from a complete one, so a fan-out source's
+		// shard outage must surface as an error, never as Inf-padded rows.
+		var failMu sync.Mutex
+		var failed error
 		exec := func(unit hetero.Unit) {
 			if ctx.Err() != nil {
 				return // deadline passed: skip remaining rows
 			}
+			failMu.Lock()
+			bail := failed != nil
+			failMu.Unlock()
+			if bail {
+				return // a row already failed: skip remaining rows
+			}
 			di := int(unit.ID)
-			buf := e.rowRef(sc.distinct[di])
+			buf, err := e.rowRef(ctx, sc.distinct[di])
+			if err != nil {
+				failMu.Lock()
+				if failed == nil {
+					failed = err
+				}
+				failMu.Unlock()
+				return
+			}
 			dst := flat[int(sc.first[di])*nt : (int(sc.first[di])+1)*nt]
 			row := buf.data
 			for j, v := range targets {
@@ -182,6 +202,9 @@ func (e *Engine) BatchFlat(ctx context.Context, sources, targets []int32, flat [
 		hetero.HybridRun(sc.units, workers, cpuBatchRows, bigBatchRows, exec, exec)
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("qe: batch abandoned: %w", err)
+		}
+		if failed != nil {
+			return fmt.Errorf("qe: batch row build failed: %w", failed)
 		}
 	}
 

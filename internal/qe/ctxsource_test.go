@@ -1,0 +1,140 @@
+package qe
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// flakySource is a CtxRowSource whose builds fail while fail is set —
+// the shape of a fan-out source with a dead shard. Successful rows are
+// row[src][v] = src*1000 + v, matching stubSource.
+type flakySource struct {
+	n      int
+	fail   atomic.Bool
+	builds atomic.Int64
+	gate   chan struct{} // nil: never block
+}
+
+func (s *flakySource) NumVertices() int { return s.n }
+
+var errFlaky = errors.New("flaky: shard down")
+
+func (s *flakySource) RowCtx(_ context.Context, src int32, out []graph.Weight) (int64, error) {
+	s.builds.Add(1)
+	if s.gate != nil {
+		<-s.gate
+	}
+	if s.fail.Load() {
+		return 0, errFlaky
+	}
+	for v := 0; v < s.n; v++ {
+		out[v] = graph.Weight(int(src)*1000 + v)
+	}
+	return int64(s.n), nil
+}
+
+// Row is the legacy surface; the engine must prefer RowCtx and never
+// call it.
+func (s *flakySource) Row(int32, []graph.Weight) int64 {
+	panic("flakySource.Row called: engine did not use RowCtx")
+}
+
+// TestCtxSourceErrorPropagates: a failing build surfaces the source's
+// error from Query, is never cached, and a subsequent build after the
+// source recovers succeeds and caches normally.
+func TestCtxSourceErrorPropagates(t *testing.T) {
+	src := &flakySource{n: 16}
+	src.fail.Store(true)
+	e, reg := newTestEngine(src, Config{CacheRows: 8})
+	defer e.Close(context.Background())
+
+	if _, err := e.Query(context.Background(), 1, 2); !errors.Is(err, errFlaky) {
+		t.Fatalf("Query during outage: err=%v, want errFlaky", err)
+	}
+	if got := reg.Counter("qe.rows.build.errors").Value(); got != 1 {
+		t.Fatalf("build.errors=%d, want 1", got)
+	}
+
+	src.fail.Store(false)
+	d, err := e.Query(context.Background(), 1, 2)
+	if err != nil {
+		t.Fatalf("Query after recovery: %v", err)
+	}
+	if want := graph.Weight(1002); d != want {
+		t.Fatalf("Query after recovery = %v, want %v", d, want)
+	}
+	// The failed attempt must not have been cached: recovery required a
+	// second build.
+	if got := src.builds.Load(); got != 2 {
+		t.Fatalf("builds=%d, want 2 (failure then rebuild)", got)
+	}
+	// And the recovered row is cached: a third query builds nothing.
+	if _, err := e.Query(context.Background(), 1, 3); err != nil {
+		t.Fatalf("cached Query: %v", err)
+	}
+	if got := src.builds.Load(); got != 2 {
+		t.Fatalf("builds=%d after cached hit, want 2", got)
+	}
+}
+
+// TestCtxSourceErrorCoalesces: waiters coalesced onto a failing build
+// all receive the error, and none panics on a missing buffer.
+func TestCtxSourceErrorCoalesces(t *testing.T) {
+	const K = 8
+	src := &flakySource{n: 16, gate: make(chan struct{})}
+	src.fail.Store(true)
+	e, _ := newTestEngine(src, Config{CacheRows: 8, MaxInflight: K, QueueDepth: K})
+	defer e.Close(context.Background())
+
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.Query(context.Background(), 3, int32(i%16))
+		}(i)
+	}
+	// Let the waiters pile onto the single in-flight build, then release.
+	for src.builds.Load() == 0 {
+	}
+	close(src.gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, errFlaky) {
+			t.Fatalf("waiter %d: err=%v, want errFlaky", i, err)
+		}
+	}
+}
+
+// TestCtxSourceBatchError: one failed row build fails the whole batch
+// with the source's error rather than returning an Inf-padded matrix.
+func TestCtxSourceBatchError(t *testing.T) {
+	src := &flakySource{n: 16}
+	src.fail.Store(true)
+	e, _ := newTestEngine(src, Config{CacheRows: 8})
+	defer e.Close(context.Background())
+
+	_, err := e.Batch(context.Background(), []int32{0, 1, 2}, []int32{3, 4})
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("Batch during outage: err=%v, want errFlaky", err)
+	}
+
+	src.fail.Store(false)
+	got, err := e.Batch(context.Background(), []int32{0, 1, 2}, []int32{3, 4})
+	if err != nil {
+		t.Fatalf("Batch after recovery: %v", err)
+	}
+	for i, u := range []int32{0, 1, 2} {
+		for j, v := range []int32{3, 4} {
+			if want := graph.Weight(int(u)*1000 + int(v)); got[i][j] != want {
+				t.Fatalf("Batch[%d][%d] = %v, want %v", i, j, got[i][j], want)
+			}
+		}
+	}
+}

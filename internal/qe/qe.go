@@ -60,6 +60,21 @@ type Sizer interface {
 	RowCost(src int32) int64
 }
 
+// CtxRowSource is the optional extension a RowSource implements when
+// building a row can fail or should observe cancellation — a fan-out
+// source fetching rows from shard daemons (internal/shard.RemoteSource)
+// rather than reading local tables. When the live source implements it,
+// the engine builds rows through RowCtx instead of Row: the error
+// propagates to the requesting caller and every coalesced waiter, and a
+// failed row is never admitted to the cache, so one shard outage
+// degrades into retryable request errors instead of cached wrong
+// answers. The ctx is the admitted request's context (engine deadline
+// applied); coalesced waiters share the builder's fate, including its
+// cancellation.
+type CtxRowSource interface {
+	RowCtx(ctx context.Context, src int32, out []graph.Weight) (int64, error)
+}
+
 // Typed failures of the engine surface. The serving layer matches them
 // with errors.Is.
 var (
@@ -133,6 +148,7 @@ type Engine struct {
 
 	builds       *obs.Counter
 	buildOps     *obs.Counter
+	buildErrs    *obs.Counter
 	coalesced    *obs.Counter
 	buildLat     *obs.Histogram
 	batchSources *obs.Counter
@@ -142,11 +158,14 @@ type Engine struct {
 // rowCall is one in-flight row computation other requests coalesce onto.
 // waiters is maintained under Engine.mu; the builder folds it into the
 // buffer's reference count before publishing buf and closing done, so
-// every waiter wakes holding exactly one reference it must release.
+// every waiter wakes holding exactly one reference it must release. A
+// failed build publishes err instead of buf: waiters wake with no
+// reference to release and surface the same error.
 type rowCall struct {
 	done    chan struct{}
 	waiters int32
 	buf     *rowBuf
+	err     error
 }
 
 // New builds an engine over src. Metrics register immediately so they are
@@ -179,6 +198,7 @@ func New(src RowSource, cfg Config) *Engine {
 
 		builds:       reg.Counter("qe.rows.built"),
 		buildOps:     reg.Counter("qe.rows.build.ops"),
+		buildErrs:    reg.Counter("qe.rows.build.errors"),
 		coalesced:    reg.Counter("qe.rows.coalesced"),
 		buildLat:     reg.Histogram("qe.rows.build.latency"),
 		batchSources: reg.Counter("qe.batch.sources"),
@@ -254,7 +274,10 @@ func (e *Engine) Query(ctx context.Context, u, v int32) (graph.Weight, error) {
 			return d, nil
 		}
 	}
-	buf := e.rowRef(u)
+	buf, err := e.rowRef(ctx, u)
+	if err != nil {
+		return inf, err
+	}
 	d := inf
 	// A coalesced row may predate a SwapSource that grew the graph;
 	// targets beyond its length are unreachable in that older view.
@@ -281,14 +304,14 @@ func (e *Engine) Query(ctx context.Context, u, v int32) (graph.Weight, error) {
 // one for itself, one per coalesced waiter, one for the cache when the
 // row is admitted — before closing done, so no holder can release a
 // count that has not been taken yet.
-func (e *Engine) rowRef(src int32) *rowBuf {
+func (e *Engine) rowRef(ctx context.Context, src int32) (*rowBuf, error) {
 	e.mu.Lock()
 	if c, ok := e.flight[src]; ok {
 		c.waiters++
 		e.mu.Unlock()
 		e.coalesced.Inc()
 		<-c.done
-		return c.buf
+		return c.buf, c.err
 	}
 	c := &rowCall{done: make(chan struct{})}
 	e.flight[src] = c
@@ -297,10 +320,30 @@ func (e *Engine) rowRef(src int32) *rowBuf {
 
 	t0 := time.Now()
 	buf := e.arena.get(n)
-	ops := rs.Row(src, buf.data)
+	var ops int64
+	var err error
+	if crs, ok := rs.(CtxRowSource); ok {
+		ops, err = crs.RowCtx(ctx, src, buf.data)
+	} else {
+		ops = rs.Row(src, buf.data)
+	}
+	e.buildLat.Observe(time.Since(t0))
+	if err != nil {
+		// The failed row never reaches the cache; the buffer goes straight
+		// back to the arena and every coalesced waiter wakes with the error
+		// and no reference to release.
+		e.buildErrs.Inc()
+		e.mu.Lock()
+		delete(e.flight, src)
+		e.mu.Unlock()
+		buf.refs.Store(1)
+		e.arena.release(buf)
+		c.err = err
+		close(c.done)
+		return nil, err
+	}
 	e.builds.Inc()
 	e.buildOps.Add(ops)
-	e.buildLat.Observe(time.Since(t0))
 	// The epoch re-check and the cache insert share the critical section
 	// with SwapSource's epoch bump, so a stale row either lands before the
 	// swap (and the swap's eviction pass removes it) or is never cached.
@@ -318,7 +361,7 @@ func (e *Engine) rowRef(src int32) *rowBuf {
 	}
 	e.mu.Unlock()
 	close(c.done)
-	return buf
+	return buf, nil
 }
 
 // inf mirrors apsp.Inf / sssp.Inf without importing either package; qe

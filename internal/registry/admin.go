@@ -35,6 +35,10 @@ func (r *Registry) infoLocked(name string) GraphInfo {
 			if e.g != nil {
 				info.Vertices = e.g.NumVertices()
 				info.Edges = e.g.NumEdges()
+			} else {
+				// Remote (engine-only) entry: report the cluster plan's
+				// vertex count; edge counts live on the shards.
+				info.Vertices = e.vertices
 			}
 		default:
 			info.State = "hydrating"

@@ -31,11 +31,14 @@ type Entry struct {
 	err   error
 
 	// engine and sub are immutable once ready; g and oracle can be
-	// swapped later by Swap (deltas) and are guarded by reg.mu.
-	g      *graph.Graph
-	oracle *apsp.Oracle
-	engine *qe.Engine
-	sub    *obs.Registry
+	// swapped later by Swap (deltas) and are guarded by reg.mu. Remote
+	// entries (AddRemote) have nil g/oracle and carry the cluster plan's
+	// vertex count in vertices for List/Info reporting.
+	g        *graph.Graph
+	oracle   *apsp.Oracle
+	engine   *qe.Engine
+	sub      *obs.Registry
+	vertices int
 
 	// Lifecycle accounting, guarded by reg.mu. refs counts Acquire minus
 	// Release; retired means the entry has left the registry's table

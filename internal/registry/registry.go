@@ -210,6 +210,30 @@ func (r *Registry) AddStatic(name string, o *apsp.Oracle, engine *qe.Engine) {
 	r.mu.Unlock()
 }
 
+// AddRemote registers an engine-only pinned entry: a cluster frontend
+// serves its rows through a fan-out source (internal/shard) and holds no
+// local oracle or graph, so Entry.Oracle and Entry.Graph return nil for
+// it — endpoints that need local structure (path reconstruction, deltas,
+// the cycle basis) answer 503 against such an entry. vertices is the
+// plan's vertex count, reported by List/Info in place of the graph's.
+func (r *Registry) AddRemote(name string, engine *qe.Engine, vertices int) {
+	e := &Entry{
+		name:     name,
+		reg:      r,
+		pinned:   true,
+		ready:    make(chan struct{}),
+		engine:   engine,
+		vertices: vertices,
+		sub:      r.reg.Sub(""),
+	}
+	close(e.ready)
+	r.mu.Lock()
+	r.known[name] = true
+	r.live[name] = e
+	r.graphs.Set(int64(len(r.live)))
+	r.mu.Unlock()
+}
+
 // Acquire resolves name to a resident entry, hydrating it from the
 // snapshot directory if cold, and returns it with one reference held —
 // the caller must Release exactly once, after its last use of the

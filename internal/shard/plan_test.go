@@ -1,0 +1,244 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/apsp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/snapshot"
+)
+
+func testGraph() *graph.Graph {
+	rng := gen.NewRNG(0xbeef)
+	cfg := gen.Config{MaxWeight: 7}
+	return gen.BridgeChain(4, 4, cfg, rng)
+}
+
+func TestPlanShardsAssignsEveryBlock(t *testing.T) {
+	o := apsp.NewOracle(testGraph())
+	p, err := PlanShards(o, PlanOptions{Shards: 2})
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	if p.NumShards != 2 {
+		t.Fatalf("NumShards = %d, want 2", p.NumShards)
+	}
+	if p.Epoch == 0 {
+		t.Fatal("plan epoch is 0")
+	}
+	if p.NumBlocks() != len(o.Blocks) {
+		t.Fatalf("plan has %d blocks, oracle has %d", p.NumBlocks(), len(o.Blocks))
+	}
+	total := 0
+	for s := int32(0); s < p.NumShards; s++ {
+		c := p.ShardBlockCount(s)
+		if c == 0 {
+			t.Errorf("shard %d owns no blocks", s)
+		}
+		total += c
+		owned := p.OwnedMask(s)
+		n := 0
+		for _, ok := range owned {
+			if ok {
+				n++
+			}
+		}
+		if n != c {
+			t.Errorf("shard %d: OwnedMask says %d blocks, ShardBlockCount says %d", s, n, c)
+		}
+	}
+	if total != p.NumBlocks() {
+		t.Fatalf("shards own %d blocks in total, plan has %d", total, p.NumBlocks())
+	}
+}
+
+func TestPlanEpochDeterministic(t *testing.T) {
+	g := testGraph()
+	p1, err := PlanShards(apsp.NewOracle(g), PlanOptions{Shards: 3})
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	p2, err := PlanShards(apsp.NewOracle(g), PlanOptions{Shards: 3})
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	if p1.Epoch != p2.Epoch {
+		t.Fatalf("same oracle, same options: epochs %d vs %d", p1.Epoch, p2.Epoch)
+	}
+	p3, err := PlanShards(apsp.NewOracle(g), PlanOptions{Shards: 2})
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	if p3.Epoch == p1.Epoch {
+		t.Fatal("different shard counts produced the same content epoch")
+	}
+	p4, err := PlanShards(apsp.NewOracle(g), PlanOptions{Shards: 2, Epoch: 42})
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	if p4.Epoch != 42 {
+		t.Fatalf("explicit epoch ignored: got %d", p4.Epoch)
+	}
+}
+
+func TestPlanManifestRoundtrip(t *testing.T) {
+	o := apsp.NewOracle(testGraph())
+	p, err := PlanShards(o, PlanOptions{Shards: 2})
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	q, err := ReadPlan(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadPlan: %v", err)
+	}
+	if q.Epoch != p.Epoch || q.NumShards != p.NumShards || q.Compact != p.Compact ||
+		q.NumVertices != p.NumVertices {
+		t.Fatalf("header mismatch: %+v vs %+v", q, p)
+	}
+	if !reflect.DeepEqual(q.CutVertices, p.CutVertices) ||
+		!reflect.DeepEqual(q.BlockOf, p.BlockOf) ||
+		!reflect.DeepEqual(q.BlockCuts, p.BlockCuts) ||
+		!reflect.DeepEqual(q.BlockVerts, p.BlockVerts) ||
+		!reflect.DeepEqual(q.BlockShard, p.BlockShard) {
+		t.Fatal("topology mismatch after roundtrip")
+	}
+	for i := 0; i < p.numA; i++ {
+		for j := 0; j < p.numA; j++ {
+			if q.apAt(int32(i), int32(j)) != p.apAt(int32(i), int32(j)) {
+				t.Fatalf("AP table differs at (%d,%d)", i, j)
+			}
+		}
+	}
+	// A second serialisation of the decoded plan is byte-identical.
+	var buf2 bytes.Buffer
+	if _, err := q.WriteTo(&buf2); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("manifest bytes differ after decode/re-encode")
+	}
+}
+
+func TestPlanManifestRejectsCorruption(t *testing.T) {
+	o := apsp.NewOracle(testGraph())
+	p, err := PlanShards(o, PlanOptions{Shards: 2})
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	raw := buf.Bytes()
+
+	for _, cut := range []int{1, len(raw) / 2, len(raw) - 1} {
+		if _, err := ReadPlan(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	for _, pos := range []int{8, len(raw) / 2, len(raw) - 4} {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x40
+		if _, err := ReadPlan(bytes.NewReader(mut)); err == nil {
+			t.Errorf("bit flip at %d accepted", pos)
+		}
+	}
+	if _, err := ReadPlan(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestPlanShardsRejectsBadCount(t *testing.T) {
+	o := apsp.NewOracle(testGraph())
+	if _, err := PlanShards(o, PlanOptions{Shards: 0}); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+}
+
+func TestShardSnapshotRoundtrip(t *testing.T) {
+	o := apsp.NewOracle(testGraph())
+	p, err := PlanShards(o, PlanOptions{Shards: 2})
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	for s := int32(0); s < p.NumShards; s++ {
+		var buf bytes.Buffer
+		meta := apsp.ShardMeta{Epoch: p.Epoch, Shard: s, NumShards: p.NumShards}
+		if _, err := o.WriteShardSnapshot(&buf, meta, p.OwnedMask(s)); err != nil {
+			t.Fatalf("WriteShardSnapshot(%d): %v", s, err)
+		}
+		sb, err := apsp.ReadShardSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadShardSnapshot(%d): %v", s, err)
+		}
+		if sb.Meta() != meta {
+			t.Fatalf("shard %d meta roundtrip: %+v vs %+v", s, sb.Meta(), meta)
+		}
+		if sb.OwnedBlocks() != p.ShardBlockCount(s) {
+			t.Fatalf("shard %d owns %d blocks, plan assigns %d", s, sb.OwnedBlocks(), p.ShardBlockCount(s))
+		}
+		// Owned block rows match the monolith's QueryParent bytes; unowned
+		// blocks refuse with the typed error.
+		for b := int32(0); int(b) < p.NumBlocks(); b++ {
+			verts := p.BlockVerts[b]
+			out := make([]graph.Weight, len(verts))
+			err := sb.BlockRow(b, verts[0], out)
+			if p.BlockShard[b] != s {
+				if !errors.Is(err, apsp.ErrNotOwned) {
+					t.Fatalf("shard %d block %d: err=%v, want ErrNotOwned", s, b, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("shard %d BlockRow(%d): %v", s, b, err)
+			}
+			for i, pv := range verts {
+				if want := o.Blocks[b].QueryParent(verts[0], pv); out[i] != want {
+					t.Fatalf("shard %d block %d row[%d] = %v, monolith %v", s, b, i, out[i], want)
+				}
+			}
+		}
+		// Corruption is rejected, never panics.
+		raw := buf.Bytes()
+		mut := append([]byte(nil), raw...)
+		mut[len(mut)/2] ^= 0x10
+		if _, err := apsp.ReadShardSnapshot(bytes.NewReader(mut)); err == nil {
+			t.Error("corrupt shard snapshot accepted")
+		}
+		if _, err := apsp.ReadShardSnapshot(bytes.NewReader(raw[:len(raw)/3])); err == nil {
+			t.Error("truncated shard snapshot accepted")
+		}
+	}
+}
+
+func TestReadPlanVersionSkew(t *testing.T) {
+	o := apsp.NewOracle(testGraph())
+	p, err := PlanShards(o, PlanOptions{Shards: 2})
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	// The payload version lives inside the checksummed container, so a
+	// plain byte edit trips the checksum first; assert the typed sentinel
+	// family instead of faking a v2 container here.
+	mut := append([]byte(nil), buf.Bytes()...)
+	mut[len(mut)-2] ^= 0xff
+	_, err = ReadPlan(bytes.NewReader(mut))
+	if err == nil {
+		t.Fatal("corrupt container accepted")
+	}
+	if !errors.Is(err, snapshot.ErrChecksum) && !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("err = %v, want a snapshot sentinel", err)
+	}
+}

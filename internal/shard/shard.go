@@ -1,0 +1,85 @@
+// Package shard splits one oracle across processes along the block-cut
+// forest — the "millions of users" serving tier: N shard daemons each
+// hold the ear reductions and S^r tables of a subset of blocks, and one
+// frontend stitches their in-block answers at articulation points into
+// whole-graph distance rows that are byte-identical to the monolith's.
+//
+// Why the block-cut forest is the shard boundary: a shortest path
+// between two vertices of one biconnected component never leaves it, and
+// every path across components threads through articulation points whose
+// pairwise distances live in the a×a table A. So the only state a whole-
+// graph row needs from block b is one in-block row — from the source if
+// the source lies on b, else from b's gateway cut vertex — and the
+// frontend can hold the (small) A table plus the forest topology while
+// the (large) per-block tables stay sharded. This is the Urakov–
+// Timeryaev disassembly/assembly structure (PAPERS.md) applied to
+// serving rather than construction.
+//
+// The pieces:
+//
+//   - PlanShards cuts a built oracle into a Plan: block→shard assignment
+//     (balanced by table weight via internal/partition), the boundary
+//     table (articulation distances, forest topology, per-block vertex
+//     lists), and a content-derived plan epoch.
+//   - Plan.WriteTo / ReadPlan persist the plan manifest as a checksummed
+//     EARSNAPS container; apsp.WriteShardSnapshot carves the per-shard
+//     table snapshots.
+//   - Handler serves POST /internal/rows on a shard daemon: batched
+//     per-block distance rows, plan-epoch validated, binary response so
+//     Inf and exact float bits survive the wire.
+//   - RemoteSource is the frontend's fan-out qe.CtxRowSource: it routes
+//     row needs to shard owners over HTTP (bounded retries with backoff,
+//     hedged reads, per-shard health), stitches the responses with the
+//     exact arithmetic of apsp's Row, and surfaces outages as typed
+//     errors instead of wrong answers.
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/apsp"
+	"repro/internal/graph"
+)
+
+// Typed failures of the fan-out path. The serving layer matches them
+// with errors.Is and maps both to 503 + Retry-After.
+var (
+	// ErrShardUnavailable reports that a shard owning rows needed by the
+	// query could not be reached after the configured retries.
+	ErrShardUnavailable = errors.New("shard: shard unavailable")
+	// ErrEpochMismatch reports that a shard is serving a different plan
+	// epoch than the frontend's manifest — a deployment skew, not a
+	// transient fault; retrying the same shard cannot help.
+	ErrEpochMismatch = errors.New("shard: plan epoch mismatch")
+)
+
+// Error wraps a fan-out failure with the shard it happened on, so the
+// HTTP layer can put shard_id in the error envelope. It matches
+// errors.Is(err, ErrShardUnavailable) / errors.Is(err, ErrEpochMismatch)
+// through Unwrap.
+type Error struct {
+	Shard int32
+	Addr  string
+	Err   error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("shard %d (%s): %v", e.Shard, e.Addr, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Inf mirrors apsp.Inf: the stitching arithmetic must use the same
+// unreachable sentinel as the oracle it replicates.
+const inf = graph.Weight(apsp.Inf)
+
+// addInf is apsp's saturating three-way add, replicated bit-for-bit:
+// the frontend's stitch must combine table entries with the exact
+// arithmetic (and operand order) of the monolith's Row.
+func addInf(a, b, c graph.Weight) graph.Weight {
+	if a >= inf || b >= inf || c >= inf {
+		return inf
+	}
+	return a + b + c
+}

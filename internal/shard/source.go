@@ -1,0 +1,642 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// SourceConfig configures a RemoteSource. Plan and Addrs are required;
+// everything else has serving-grade defaults.
+type SourceConfig struct {
+	// Plan is the cluster's manifest; Addrs[i] is the base URL of shard
+	// i's daemon (e.g. "http://10.0.0.5:9090"), one per plan shard.
+	Plan  *Plan
+	Addrs []string
+	// Client is the HTTP client for row RPCs and probes; nil gets a
+	// client with a 10s overall timeout (per-query deadlines still come
+	// from the request context).
+	Client *http.Client
+	// MaxRetries is how many times a failed shard fetch is retried after
+	// the first attempt (default 2; negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// retry (default 50ms).
+	RetryBackoff time.Duration
+	// HedgeAfter launches one duplicate request if the first has not
+	// answered within this duration — tail-latency insurance against a
+	// slow shard. 0 disables hedging.
+	HedgeAfter time.Duration
+	// ProbeInterval enables an active health prober hitting each shard's
+	// /internal/health at this interval. 0 relies on passive marking
+	// (fetch outcomes) only.
+	ProbeInterval time.Duration
+	// Reg receives shard.* metrics; nil uses obs.Default.
+	Reg *obs.Registry
+}
+
+const (
+	defaultMaxRetries   = 2
+	defaultRetryBackoff = 50 * time.Millisecond
+)
+
+// shardState is the frontend's view of one shard daemon.
+type shardState struct {
+	addr    string
+	healthy atomic.Bool
+
+	mu      sync.Mutex
+	lastErr string
+
+	errs *obs.Counter
+	lat  *obs.Histogram
+}
+
+func (st *shardState) markOK() {
+	st.healthy.Store(true)
+	st.mu.Lock()
+	st.lastErr = ""
+	st.mu.Unlock()
+}
+
+func (st *shardState) markBad(msg string) {
+	st.healthy.Store(false)
+	st.mu.Lock()
+	st.lastErr = msg
+	st.mu.Unlock()
+}
+
+// RemoteSource is the frontend's distance-row source: it computes whole-
+// graph rows by fanning block-row fetches out to the shard daemons that
+// own them and stitching the responses at articulation points with the
+// exact arithmetic of the monolith oracle's Row — the answers are
+// byte-identical, or a typed error; never silently partial.
+//
+// It implements qe.RowSource, qe.CtxRowSource, and qe.Sizer, so the
+// existing engine stack (row cache, singleflight, admission, batching)
+// applies unchanged; a failed fan-out surfaces from Query/Batch as an
+// error wrapping ErrShardUnavailable or ErrEpochMismatch and is never
+// cached.
+type RemoteSource struct {
+	plan       *Plan
+	client     *http.Client
+	maxRetries int
+	backoff    time.Duration
+	hedgeAfter time.Duration
+	shards     []*shardState
+
+	reqs     *obs.Counter
+	retries  *obs.Counter
+	hedges   *obs.Counter
+	errTotal *obs.Counter
+	fetched  *obs.Counter
+	stitched *obs.Counter
+
+	stop      chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewRemoteSource validates the config and builds the fan-out source,
+// starting the active prober if configured. Close releases it.
+func NewRemoteSource(cfg SourceConfig) (*RemoteSource, error) {
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("shard: remote source needs a plan")
+	}
+	if len(cfg.Addrs) != int(cfg.Plan.NumShards) {
+		return nil, fmt.Errorf("shard: %d shard addresses for a %d-shard plan",
+			len(cfg.Addrs), cfg.Plan.NumShards)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	maxRetries := cfg.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = defaultMaxRetries
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	reg := cfg.Reg
+	if reg == nil {
+		reg = obs.Default
+	}
+	s := &RemoteSource{
+		plan:       cfg.Plan,
+		client:     client,
+		maxRetries: maxRetries,
+		backoff:    backoff,
+		hedgeAfter: cfg.HedgeAfter,
+		reqs:       reg.Counter("shard.rpc.requests"),
+		retries:    reg.Counter("shard.rpc.retries"),
+		hedges:     reg.Counter("shard.rpc.hedges"),
+		errTotal:   reg.Counter("shard.rpc.errors"),
+		fetched:    reg.Counter("shard.rows.fetched"),
+		stitched:   reg.Counter("shard.rows.stitched"),
+		stop:       make(chan struct{}),
+	}
+	s.shards = make([]*shardState, len(cfg.Addrs))
+	for i, addr := range cfg.Addrs {
+		sub := reg.Sub(fmt.Sprintf("shard.%d.", i))
+		st := &shardState{addr: addr, errs: sub.Counter("errors"), lat: sub.Histogram("rpc")}
+		st.healthy.Store(true) // optimistic until a fetch or probe says otherwise
+		s.shards[i] = st
+	}
+	if cfg.ProbeInterval > 0 {
+		s.probeWG.Add(1)
+		go s.probeLoop(cfg.ProbeInterval)
+	}
+	return s, nil
+}
+
+// Close stops the active prober, if any. Safe to call more than once.
+func (s *RemoteSource) Close() error {
+	s.closeOnce.Do(func() { close(s.stop) })
+	s.probeWG.Wait()
+	return nil
+}
+
+// Plan returns the manifest the source routes by.
+func (s *RemoteSource) Plan() *Plan { return s.plan }
+
+// Epoch returns the plan epoch the source stitches under.
+func (s *RemoteSource) Epoch() uint64 { return s.plan.Epoch }
+
+// NumVertices returns the full graph's vertex count.
+func (s *RemoteSource) NumVertices() int { return s.plan.NumVertices }
+
+// RowCost mirrors the monolith oracle's RowCost so the batch scheduler
+// orders sharded row builds the same way.
+func (s *RemoteSource) RowCost(u int32) int64 {
+	p := s.plan
+	cost := int64(p.NumVertices)
+	if u >= 0 && int(u) < len(p.BlockOf) {
+		if b := p.BlockOf[u]; b >= 0 {
+			cost += int64(p.numA) * int64(len(p.BlockCuts[b])+1)
+		}
+	}
+	return cost
+}
+
+// ShardStatus is one shard's serving state, as reported by /v1/cluster.
+type ShardStatus struct {
+	ID        int32  `json:"id"`
+	Addr      string `json:"addr"`
+	Healthy   bool   `json:"healthy"`
+	Blocks    int    `json:"blocks"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Status snapshots every shard's health for the cluster surface.
+func (s *RemoteSource) Status() []ShardStatus {
+	out := make([]ShardStatus, len(s.shards))
+	for i, st := range s.shards {
+		st.mu.Lock()
+		lastErr := st.lastErr
+		st.mu.Unlock()
+		out[i] = ShardStatus{
+			ID: int32(i), Addr: st.addr, Healthy: st.healthy.Load(),
+			Blocks: s.plan.ShardBlockCount(int32(i)), LastError: lastErr,
+		}
+	}
+	return out
+}
+
+// Row is the legacy RowSource surface: RowCtx with failures degraded to
+// an all-Inf row (the engine always prefers RowCtx, which keeps the
+// error; Row exists so RemoteSource satisfies interfaces that predate
+// error-carrying sources).
+func (s *RemoteSource) Row(u int32, out []graph.Weight) int64 {
+	ops, err := s.RowCtx(context.Background(), u, out)
+	if err != nil {
+		return 0
+	}
+	return ops
+}
+
+// RowCtx computes the whole-graph distance row d_G(u, ·) into out,
+// returning the stitch operation count. It fans the needed block rows
+// out to their owning shards in parallel and assembles them locally; on
+// any shard failure it returns a typed error (wrapping
+// ErrShardUnavailable or ErrEpochMismatch) and out is unspecified.
+//
+// The assembly replays apsp's Row step for step — same case analysis,
+// same table reads, same saturating adds in the same order — which is
+// what makes the sharded frontend byte-identical to the monolith.
+func (s *RemoteSource) RowCtx(ctx context.Context, u int32, out []graph.Weight) (int64, error) {
+	p := s.plan
+	n := p.NumVertices
+	out = out[:n]
+	for i := range out {
+		out[i] = inf
+	}
+	if u < 0 || int(u) >= n {
+		return 0, nil // mirror Oracle.Row: silent all-Inf row
+	}
+	out[u] = 0
+	ops := int64(n)
+	numB := len(p.BlockShard)
+
+	iu := int32(-1)
+	if int(u) < len(p.cutIndex) {
+		iu = p.cutIndex[u]
+	}
+	bu := p.BlockOf[u]
+	if iu < 0 && bu < 0 {
+		return ops, nil // isolated vertex: everything else stays Inf
+	}
+
+	// Walk the block-cut forest from the source's node. gate[b] is the
+	// AP index of the first cut vertex on the path from block b back to
+	// the source — exactly the oracle's gatewayCut — with -1 marking the
+	// source's home block and -2 unreached (other components).
+	gate := make([]int32, numB)
+	for i := range gate {
+		gate[i] = -2
+	}
+	cutSeen := make([]bool, p.numA)
+	queue := make([]int32, 0, 16)
+	var own []bool
+	if iu >= 0 {
+		cutSeen[iu] = true
+		queue = append(queue, int32(numB)+iu)
+		own = make([]bool, numB)
+		for _, b := range p.apBlocks[iu] {
+			own[b] = true
+		}
+	} else {
+		gate[bu] = -1
+		if len(p.BlockCuts[bu]) == 0 {
+			// The whole component is this one block; skip the walk, as
+			// the oracle's rowFromRegular returns early.
+			queue = queue[:0]
+		} else {
+			queue = append(queue, bu)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		if int(v) < numB {
+			for _, ci := range p.BlockCuts[v] {
+				if !cutSeen[ci] {
+					cutSeen[ci] = true
+					queue = append(queue, int32(numB)+ci)
+				}
+			}
+			continue
+		}
+		for _, b := range p.cutBlocks[v-int32(numB)] {
+			if gate[b] == -2 {
+				gate[b] = v - int32(numB)
+				queue = append(queue, b)
+			}
+		}
+	}
+
+	// Collect the block rows this row needs: for the source's own
+	// block(s) a row from u itself, for every other reached block a row
+	// from its gateway cut vertex. Blocks are visited ascending, so the
+	// per-shard request order is deterministic.
+	perShard := make(map[int32]*shardFetch)
+	want := func(b, src int32) {
+		sid := p.BlockShard[b]
+		f := perShard[sid]
+		if f == nil {
+			f = &shardFetch{}
+			perShard[sid] = f
+		}
+		f.reqs = append(f.reqs, [2]int32{b, src})
+		f.lens = append(f.lens, len(p.BlockVerts[b]))
+	}
+	for b := int32(0); int(b) < numB; b++ {
+		switch {
+		case iu >= 0 && own[b]:
+			want(b, u)
+		case iu >= 0 && gate[b] >= 0:
+			want(b, p.CutVertices[gate[b]])
+		case iu < 0 && b == bu:
+			want(b, u)
+		case iu < 0 && gate[b] >= 0:
+			want(b, p.CutVertices[gate[b]])
+		}
+	}
+
+	if err := s.fanOut(ctx, perShard); err != nil {
+		return 0, err
+	}
+	blockRow := make(map[int32][]graph.Weight)
+	for _, f := range perShard {
+		for i, pair := range f.reqs {
+			blockRow[pair[0]] = f.rows[i]
+		}
+	}
+
+	// Assembly, replaying rowFromAP / rowFromRegular.
+	if iu >= 0 {
+		for j := 0; j < p.numA; j++ {
+			out[p.CutVertices[j]] = p.apAt(iu, int32(j))
+		}
+		ops += int64(p.numA)
+		for b := int32(0); int(b) < numB; b++ {
+			row := blockRow[b]
+			if row == nil {
+				continue
+			}
+			if own[b] {
+				for k, pv := range p.BlockVerts[b] {
+					if p.cutIndex[pv] >= 0 {
+						continue // APs already filled from A
+					}
+					out[pv] = row[k]
+				}
+			} else {
+				pre := p.apAt(iu, gate[b])
+				for k, pv := range p.BlockVerts[b] {
+					if p.cutIndex[pv] >= 0 {
+						continue
+					}
+					out[pv] = addInf(pre, row[k], 0)
+				}
+			}
+			ops += int64(len(p.BlockVerts[b]))
+		}
+		s.stitched.Inc()
+		return ops, nil
+	}
+
+	rowU := blockRow[bu]
+	for k, pv := range p.BlockVerts[bu] {
+		out[pv] = rowU[k]
+	}
+	ops += int64(len(p.BlockVerts[bu]))
+	cuts := p.BlockCuts[bu]
+	if len(cuts) == 0 {
+		s.stitched.Inc()
+		return ops, nil
+	}
+	dcut := make([]graph.Weight, len(cuts))
+	for i := range cuts {
+		dcut[i] = rowU[p.cutPos[bu][i]]
+	}
+	dAP := make([]graph.Weight, p.numA)
+	for j := range dAP {
+		best := inf
+		for i, ci := range cuts {
+			if sum := addInf(dcut[i], p.apAt(ci, int32(j)), 0); sum < best {
+				best = sum
+			}
+		}
+		dAP[j] = best
+		if v := p.CutVertices[j]; dAP[j] < out[v] {
+			out[v] = dAP[j]
+		}
+	}
+	ops += int64(p.numA) * int64(len(cuts))
+	for b := int32(0); int(b) < numB; b++ {
+		if b == bu || gate[b] < 0 {
+			continue
+		}
+		row := blockRow[b]
+		pre := dAP[gate[b]]
+		for k, pv := range p.BlockVerts[b] {
+			if p.cutIndex[pv] >= 0 {
+				continue
+			}
+			out[pv] = addInf(pre, row[k], 0)
+		}
+		ops += int64(len(p.BlockVerts[b]))
+	}
+	s.stitched.Inc()
+	return ops, nil
+}
+
+// shardFetch is one shard's slice of a row's fan-out.
+type shardFetch struct {
+	reqs [][2]int32
+	lens []int
+	rows [][]graph.Weight
+}
+
+// fanOut fetches every shard's slice concurrently; the first failure
+// (typed) fails the row.
+func (s *RemoteSource) fanOut(ctx context.Context, perShard map[int32]*shardFetch) error {
+	if len(perShard) == 0 {
+		return nil
+	}
+	if len(perShard) == 1 {
+		for sid, f := range perShard {
+			rows, err := s.fetchRows(ctx, sid, f.reqs, f.lens)
+			if err != nil {
+				return err
+			}
+			f.rows = rows
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(perShard))
+	for sid, f := range perShard {
+		wg.Add(1)
+		go func(sid int32, f *shardFetch) {
+			defer wg.Done()
+			rows, err := s.fetchRows(ctx, sid, f.reqs, f.lens)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			f.rows = rows
+		}(sid, f)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh // nil when the channel is empty
+}
+
+// noRetryError marks a failure retrying cannot fix (epoch skew, a shard
+// rejecting the request as misrouted).
+type noRetryError struct{ err error }
+
+func (e *noRetryError) Error() string { return e.err.Error() }
+func (e *noRetryError) Unwrap() error { return e.err }
+
+// fetchRows fetches one shard's row batch with bounded retries and
+// exponential backoff, marking the shard's health from the outcome. A
+// final failure comes back as *Error wrapping ErrShardUnavailable (or
+// ErrEpochMismatch for plan skew, which is never retried).
+func (s *RemoteSource) fetchRows(ctx context.Context, sid int32, reqs [][2]int32, lens []int) ([][]graph.Weight, error) {
+	st := s.shards[sid]
+	body, err := json.Marshal(rowsRequest{Epoch: s.plan.Epoch, Rows: reqs})
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= s.maxRetries; attempt++ {
+		if attempt > 0 {
+			s.retries.Inc()
+			t := time.NewTimer(s.backoff << (attempt - 1))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+		rows, err := s.attemptHedged(ctx, st, body, reqs, lens)
+		if err == nil {
+			st.markOK()
+			s.fetched.Add(int64(len(reqs)))
+			return rows, nil
+		}
+		lastErr = err
+		s.errTotal.Inc()
+		st.errs.Inc()
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		var nr *noRetryError
+		if errors.As(err, &nr) || errors.Is(err, ErrEpochMismatch) {
+			break
+		}
+	}
+	st.markBad(lastErr.Error())
+	if errors.Is(lastErr, ErrEpochMismatch) {
+		return nil, &Error{Shard: sid, Addr: st.addr, Err: lastErr}
+	}
+	return nil, &Error{Shard: sid, Addr: st.addr,
+		Err: fmt.Errorf("%w (%d attempts): %v", ErrShardUnavailable, s.maxRetries+1, lastErr)}
+}
+
+// attemptHedged runs one fetch attempt, optionally racing a duplicate
+// request launched after hedgeAfter of silence; the first success wins
+// and the loser is cancelled.
+func (s *RemoteSource) attemptHedged(ctx context.Context, st *shardState, body []byte, reqs [][2]int32, lens []int) ([][]graph.Weight, error) {
+	if s.hedgeAfter <= 0 {
+		return s.doRPC(ctx, st, body, reqs, lens)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		rows [][]graph.Weight
+		err  error
+	}
+	ch := make(chan result, 2)
+	run := func() {
+		rows, err := s.doRPC(cctx, st, body, reqs, lens)
+		ch <- result{rows, err}
+	}
+	go run()
+	pending := 1
+	hedged := false
+	timer := time.NewTimer(s.hedgeAfter)
+	defer timer.Stop()
+	var lastErr error
+	for pending > 0 {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				return r.rows, nil
+			}
+			lastErr = r.err
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				s.hedges.Inc()
+				pending++
+				go run()
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+// doRPC performs one HTTP exchange with a shard and decodes/validates
+// the response.
+func (s *RemoteSource) doRPC(ctx context.Context, st *shardState, body []byte, reqs [][2]int32, lens []int) ([][]graph.Weight, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, st.addr+"/internal/rows", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	s.reqs.Inc()
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	st.lat.Observe(time.Since(t0))
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		if resp.StatusCode == http.StatusConflict {
+			return nil, fmt.Errorf("%w: %s", ErrEpochMismatch, bytes.TrimSpace(snippet))
+		}
+		herr := fmt.Errorf("shard answered HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(snippet))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return nil, &noRetryError{herr}
+		}
+		return nil, herr
+	}
+	return decodeRowsResponse(resp.Body, s.plan.Epoch, reqs, lens)
+}
+
+// probeLoop is the active health prober: it hits every shard's
+// /internal/health each interval and marks health from the reply
+// (including the plan-epoch check, so a restarted shard serving a new
+// plan shows unhealthy instead of poisoning queries).
+func (s *RemoteSource) probeLoop(interval time.Duration) {
+	defer s.probeWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			for i := range s.shards {
+				s.probeShard(int32(i))
+			}
+		}
+	}
+}
+
+func (s *RemoteSource) probeShard(i int32) {
+	st := s.shards[i]
+	resp, err := s.client.Get(st.addr + "/internal/health")
+	if err != nil {
+		st.markBad(err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		st.markBad(fmt.Sprintf("health probe answered HTTP %d", resp.StatusCode))
+		return
+	}
+	var hb healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&hb); err != nil {
+		st.markBad("health probe: " + err.Error())
+		return
+	}
+	switch {
+	case hb.Epoch != s.plan.Epoch:
+		st.markBad(fmt.Sprintf("shard serves plan epoch %d, frontend expects %d", hb.Epoch, s.plan.Epoch))
+	case hb.Shard != i:
+		st.markBad(fmt.Sprintf("address serves shard %d, expected %d", hb.Shard, i))
+	default:
+		st.markOK()
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/qe"
 	"repro/internal/registry"
+	"repro/internal/shard"
 	"repro/internal/snapshot"
 	"repro/internal/verify"
 )
@@ -321,6 +322,88 @@ func OpenRegistry(cfg RegistryConfig) (*Registry, error) { return registry.Open(
 func RegistryLimitsFromConfig(cfg EngineConfig) RegistryLimits {
 	return registry.LimitsFromConfig(cfg)
 }
+
+// Horizontally sharded serving: a plan cuts an oracle's biconnected
+// blocks across shards along the block-cut forest, each shard daemon
+// serves its owned per-block reductions, and a frontend's
+// RemoteRowSource fans row requests out over HTTP and stitches the
+// answers at articulation points — byte-identical to the monolith.
+type (
+	// ShardPlan is the cluster's manifest: block→shard assignment, the
+	// block-cut forest, the articulation-point boundary table, and a
+	// content-derived plan epoch. Serialise with WriteShardPlan /
+	// ReadShardPlan.
+	ShardPlan = shard.Plan
+	// ShardPlanOptions tunes PlanShards; the zero value of every field
+	// except Shards is usable.
+	ShardPlanOptions = shard.PlanOptions
+	// ShardSourceConfig configures NewRemoteRowSource: the plan, one
+	// address per shard, and retry/hedging/probing knobs.
+	ShardSourceConfig = shard.SourceConfig
+	// RemoteRowSource is the frontend's fan-out RowSource: it routes
+	// each row to its owning shard daemon, stitches cross-block answers
+	// through the plan's boundary table, and degrades into typed
+	// ErrShardUnavailable / ErrShardEpochMismatch failures. It satisfies
+	// RowSource, so NewQueryEngine serves it unchanged.
+	RemoteRowSource = shard.RemoteSource
+	// ShardStatus is one shard's health row from RemoteRowSource.Status.
+	ShardStatus = shard.ShardStatus
+	// ShardError is the typed wrapper on every fan-out failure, carrying
+	// the shard id and address; errors.As-compatible.
+	ShardError = shard.Error
+	// ShardMeta identifies one shard snapshot (epoch, shard id, shard
+	// count); WriteShardSnapshot stamps it, ReadShardSnapshot checks it.
+	ShardMeta = apsp.ShardMeta
+	// ShardBlocks is one daemon's loaded shard snapshot: the owned
+	// per-block ear reductions it serves rows from.
+	ShardBlocks = apsp.ShardBlocks
+)
+
+// Typed failures of the sharded serving surface, wrap-compatible with
+// errors.Is.
+var (
+	// ErrShardUnavailable reports a shard daemon that stayed unreachable
+	// through the configured retries; the query may succeed after the
+	// shard recovers.
+	ErrShardUnavailable = shard.ErrShardUnavailable
+	// ErrShardEpochMismatch reports a frontend and shard daemon serving
+	// different plan epochs; retrying cannot help until the cluster is
+	// re-rolled onto one plan.
+	ErrShardEpochMismatch = shard.ErrEpochMismatch
+	// ErrShardNotOwned reports a row request for a block the shard
+	// snapshot does not carry (a misrouted request or a stale plan).
+	ErrShardNotOwned = apsp.ErrNotOwned
+)
+
+// PlanShards cuts o into a serving cluster: blocks are assigned to
+// opts.Shards shards weight-balanced along the block-cut forest, and the
+// returned plan carries everything a frontend needs to stitch answers.
+func PlanShards(o *APSPOracle, opts ShardPlanOptions) (*ShardPlan, error) {
+	return shard.PlanShards(o, opts)
+}
+
+// WriteShardPlan serialises a plan manifest (checksummed; ReadShardPlan
+// rejects corruption and recomputes-or-verifies the epoch).
+func WriteShardPlan(w io.Writer, p *ShardPlan) (int64, error) { return p.WriteTo(w) }
+
+// ReadShardPlan deserialises a plan manifest written by WriteShardPlan.
+func ReadShardPlan(r io.Reader) (*ShardPlan, error) { return shard.ReadPlan(r) }
+
+// NewRemoteRowSource builds the frontend's fan-out source over a plan
+// and one shard daemon address per shard. Close releases its probe
+// loop and idle connections.
+func NewRemoteRowSource(cfg ShardSourceConfig) (*RemoteRowSource, error) {
+	return shard.NewRemoteSource(cfg)
+}
+
+// WriteShardSnapshot serialises the per-block reductions owned[b]==true
+// selects, stamped with meta, for one shard daemon to serve.
+func WriteShardSnapshot(w io.Writer, o *APSPOracle, meta ShardMeta, owned []bool) (int64, error) {
+	return o.WriteShardSnapshot(w, meta, owned)
+}
+
+// ReadShardSnapshot loads a shard snapshot written by WriteShardSnapshot.
+func ReadShardSnapshot(r io.Reader) (*ShardBlocks, error) { return apsp.ReadShardSnapshot(r) }
 
 // Async jobs: persistent whole-graph computations (distance-matrix slabs,
 // betweenness centrality) with checkpoint/resume and streaming NDJSON

@@ -2,6 +2,9 @@ package repro
 
 import (
 	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 
 	"os"
@@ -10,6 +13,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/mcb"
+	"repro/internal/shard"
 )
 
 // TestFacadeEndToEnd exercises the public surface the README documents:
@@ -148,5 +152,82 @@ func TestFacadeBCAndVerifiers(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "graph G {") {
 		t.Fatal("dot output wrong")
+	}
+}
+
+// TestFacadeShardedServing drives the sharded-serving surface through
+// the facade only: plan a 2-shard cluster, round-trip the manifest and
+// shard snapshots through their wire encodings, serve both shards over
+// HTTP, and check the fan-out engine agrees with direct oracle queries.
+func TestFacadeShardedServing(t *testing.T) {
+	b := NewGraphBuilder(8)
+	for _, e := range [][3]int32{
+		{0, 1, 2}, {1, 2, 3}, {2, 0, 1}, // block A
+		{2, 3, 5},                       // bridge
+		{3, 4, 1}, {4, 5, 2}, {5, 3, 4}, // block B
+		{5, 6, 1}, {6, 7, 2}, {7, 5, 3}, // block C
+	} {
+		b.AddEdge(e[0], e[1], Weight(e[2]))
+	}
+	g := b.Build()
+	oracle, err := ShortestPaths(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := PlanShards(oracle, ShardPlanOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	if _, err := WriteShardPlan(&mbuf, plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan, err = ReadShardPlan(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := make([]string, plan.NumShards)
+	for sid := int32(0); sid < plan.NumShards; sid++ {
+		var sbuf bytes.Buffer
+		meta := ShardMeta{Epoch: plan.Epoch, Shard: sid, NumShards: plan.NumShards}
+		if _, err := WriteShardSnapshot(&sbuf, oracle, meta, plan.OwnedMask(sid)); err != nil {
+			t.Fatal(err)
+		}
+		sb, err := ReadShardSnapshot(&sbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		shard.NewHandler(sb).Register(mux)
+		ts := httptest.NewServer(mux)
+		defer ts.Close()
+		addrs[sid] = ts.URL
+	}
+
+	src, err := NewRemoteRowSource(ShardSourceConfig{Plan: plan, Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	engine := NewQueryEngine(src, EngineConfig{CacheRows: 16})
+	ctx := context.Background()
+	defer engine.Close(ctx)
+
+	for u := int32(0); u < 8; u++ {
+		for v := int32(0); v < 8; v++ {
+			got, err := engine.Query(ctx, u, v)
+			if err != nil {
+				t.Fatalf("query(%d,%d): %v", u, v, err)
+			}
+			if want := oracle.Query(u, v); got != want {
+				t.Fatalf("sharded query(%d,%d) = %v, oracle %v", u, v, got, want)
+			}
+		}
+	}
+	for _, st := range src.Status() {
+		if !st.Healthy {
+			t.Fatalf("shard %d unhealthy: %+v", st.ID, st)
+		}
 	}
 }
